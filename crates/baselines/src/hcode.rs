@@ -1,0 +1,213 @@
+//! H-Code (Wu, Wan, He, Cao & Xie, IPDPS 2011).
+//!
+//! A hybrid code over `p + 1` disks, `p − 1` rows (1-based rows
+//! `i ∈ 1..p−1`, columns `0..p`): column `p` is a dedicated horizontal
+//! parity disk, and the `p − 1` anti-diagonal parities sit at the diagonal
+//! positions `E_{i,i}` of columns `1..p−1` — disk 0 carries data only,
+//! matching the HV paper's "spreads the p−1 anti-diagonal parity elements
+//! over other p disks".
+//!
+//! * Horizontal parity: `E_{i,p} = ⊕_{j≠i} E_{i,j}` (row `i`'s data).
+//! * Anti-diagonal parity: `E_{i,i}` protects the anti-diagonal
+//!   `⟨col − row⟩_p = i` (1-based rows, 0-based columns):
+//!   `E_{i,i} = ⊕ E_{⟨j−i⟩_p, j}` over `j ∈ 0..p−1, j ≠ ⟨i−... ⟩` — the one
+//!   column whose row index would leave the stripe is skipped. The parity
+//!   positions themselves all lie on the `col − row ≡ 0` diagonal, so
+//!   anti-diagonal chains contain only data.
+//!
+//! This gives H-Code its signature property, cited by the HV paper: the
+//! last data element of row `i` and the first of row `i+1` lie on the same
+//! diagonal (`i + 1`), so a two-element partial write crossing a row
+//! boundary updates one shared anti-diagonal parity. The assignment
+//! "parity `E_{i,i}` ↔ diagonal `i`" is pinned by this module's exhaustive
+//! MDS tests (see DESIGN.md §2).
+
+use raid_core::layout::{Chain, ElementKind, ParityClass};
+use raid_core::{ArrayCode, Cell, Layout};
+use raid_math::Prime;
+
+use crate::CodeError;
+
+/// The H-Code over `p + 1` disks.
+///
+/// ```
+/// use raid_baselines::HCode;
+/// use raid_core::ArrayCode;
+///
+/// let code = HCode::new(7)?;
+/// assert_eq!(code.disks(), 8);
+/// assert_eq!(code.horizontal_parity_col(), 7); // dedicated parity disk
+/// # Ok::<(), raid_baselines::CodeError>(())
+/// ```
+#[derive(Debug)]
+pub struct HCode {
+    p: Prime,
+    layout: Layout,
+}
+
+impl HCode {
+    /// Builds H-Code for prime `p ≥ 5`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError`] if `p` is not prime or `p < 5` (at `p = 3`
+    /// the two-row stripe leaves column 0 with a single data element and
+    /// degenerate diagonals).
+    pub fn new(p: usize) -> Result<Self, CodeError> {
+        let prime = Prime::new(p)?;
+        if p < 5 {
+            return Err(CodeError::TooSmall { p, min: 5 });
+        }
+        Ok(HCode { p: prime, layout: build_layout(prime) })
+    }
+
+    /// Column of the dedicated horizontal-parity disk.
+    pub fn horizontal_parity_col(&self) -> usize {
+        self.p.get()
+    }
+}
+
+impl ArrayCode for HCode {
+    fn name(&self) -> &str {
+        "H-Code"
+    }
+
+    fn prime(&self) -> Prime {
+        self.p
+    }
+
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+fn build_layout(p: Prime) -> Layout {
+    let pv = p.get();
+    let rows = pv - 1; // 1-based i = r + 1
+    let cols = pv + 1;
+
+    let mut kinds = vec![ElementKind::Data; rows * cols];
+    for r in 0..rows {
+        kinds[Cell::new(r, pv).index(cols)] = ElementKind::Parity(ParityClass::Horizontal);
+        // E_{i,i}: 1-based row i = r + 1, column i = r + 1.
+        kinds[Cell::new(r, r + 1).index(cols)] = ElementKind::Parity(ParityClass::AntiDiagonal);
+    }
+
+    let mut chains = Vec::with_capacity(2 * rows);
+    // Horizontal chains: row i's data over columns 0..p−1 (skipping the
+    // anti-diagonal parity at column i).
+    for r in 0..rows {
+        chains.push(Chain {
+            class: ParityClass::Horizontal,
+            parity: Cell::new(r, pv),
+            members: (0..pv).filter(|&j| j != r + 1).map(|j| Cell::new(r, j)).collect(),
+        });
+    }
+    // Anti-diagonal chains: parity E_{i,i} covers the anti-diagonal
+    // col − row ≡ i (1-based rows, 0-based cols): members (⟨j−i⟩ − 1, j)
+    // for j ∈ 0..p−1, skipping the column where the row index would be 0.
+    for r in 0..rows {
+        let i = r + 1;
+        let members: Vec<Cell> = (0..pv)
+            .filter_map(|j| {
+                let row_1b = (j + pv - i) % pv;
+                (row_1b != 0).then(|| Cell::new(row_1b - 1, j))
+            })
+            .collect();
+        chains.push(Chain {
+            class: ParityClass::AntiDiagonal,
+            parity: Cell::new(r, r + 1),
+            members,
+        });
+    }
+
+    Layout::new(rows, cols, kinds, chains).expect("H-Code construction yields a valid layout")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_raid6_code;
+    use raid_core::invariants;
+    use raid_core::plan::update::update_complexity;
+
+    #[test]
+    fn rejects_small_and_composite() {
+        assert!(matches!(HCode::new(3), Err(CodeError::TooSmall { p: 3, min: 5 })));
+        assert!(HCode::new(9).is_err());
+    }
+
+    #[test]
+    fn geometry() {
+        let code = HCode::new(5).unwrap();
+        assert_eq!(code.disks(), 6);
+        assert_eq!(code.rows(), 4);
+        assert_eq!(code.horizontal_parity_col(), 5);
+        // Disk 0 data-only; disks 1..4 one anti-diagonal parity each;
+        // disk 5 all horizontal parity.
+        assert_eq!(invariants::parities_per_column(code.layout()), vec![0, 1, 1, 1, 1, 4]);
+    }
+
+    #[test]
+    fn chain_lengths_are_p() {
+        // Table III: H-Code parity chain length p.
+        for p in [5usize, 7, 11, 13] {
+            let code = HCode::new(p).unwrap();
+            assert_eq!(
+                code.layout().chain_length_histogram(),
+                vec![(p, 2 * (p - 1))],
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_update_complexity() {
+        // Table III: H-Code has 2 extra updates (no parity-into-parity
+        // cascades, unlike RDP).
+        for p in [5usize, 7, 11] {
+            let code = HCode::new(p).unwrap();
+            assert!((update_complexity(code.layout()) - 2.0).abs() < 1e-12, "p={p}");
+            assert_eq!(invariants::data_membership_range(code.layout()), (2, 2));
+        }
+    }
+
+    #[test]
+    fn row_boundary_neighbours_share_anti_diagonal() {
+        // The property the HV paper credits H-Code with: E_{i,p−1} and
+        // E_{i+1,0} share an anti-diagonal parity chain.
+        for p in [5usize, 7, 11, 13] {
+            let code = HCode::new(p).unwrap();
+            let l = code.layout();
+            for r in 0..l.rows() - 1 {
+                let last = Cell::new(r, p - 1);
+                let first = Cell::new(r + 1, 0);
+                if !l.is_data(last) || !l.is_data(first) {
+                    continue;
+                }
+                let a: Vec<_> = l
+                    .chains_containing(last)
+                    .iter()
+                    .filter(|&&id| {
+                        matches!(l.chain(id).class, ParityClass::AntiDiagonal)
+                    })
+                    .collect();
+                let b: Vec<_> = l
+                    .chains_containing(first)
+                    .iter()
+                    .filter(|&&id| {
+                        matches!(l.chain(id).class, ParityClass::AntiDiagonal)
+                    })
+                    .collect();
+                assert_eq!(a, b, "p={p} rows {r},{}", r + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn raid6_battery() {
+        for p in [5usize, 7, 11, 13] {
+            assert_raid6_code(&HCode::new(p).unwrap());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! HDP — Horizontal-Diagonal Parity code (Wu, He, Wu, Wan, Liu, Cao & Xie,
+//! DSN 2011).
+//!
+//! A code over `p − 1` disks with a `(p−1) × (p−1)` stripe (0-based rows
+//! and columns `0..p−2`). Row `i` carries two parities:
+//!
+//! * the **horizontal-diagonal parity** `E_{i,i}` = XOR of *every other
+//!   element of row `i`*, including the row's anti-diagonal parity — the
+//!   parity-into-parity coupling that gives HDP its "3 extra updates"
+//!   (Table III) and its weaker double-failure parallelism;
+//! * the **anti-diagonal parity** `E_{i,p−2−i}`, whose chain is the wrapped
+//!   diagonal `⟨row − col⟩_p = ⟨2i + 2⟩_p` running through the parity cell
+//!   itself: the cells `(r, ⟨r − 2i − 2⟩_p)` that fall inside the stripe.
+//!   Exactly one position of that diagonal falls off the grid (column
+//!   `p − 1`), and none of the other cells is a parity, so the chain has
+//!   `p − 3` data members — chain length `p − 2`, the short chain of
+//!   Table III. The shape is pinned by this module's exhaustive MDS tests
+//!   (see DESIGN.md §2).
+
+use raid_core::layout::{Chain, ElementKind, ParityClass};
+use raid_core::{ArrayCode, Cell, Layout};
+use raid_math::Prime;
+
+use crate::CodeError;
+
+/// The HDP code over `p − 1` disks.
+///
+/// ```
+/// use raid_baselines::HdpCode;
+/// use raid_core::{ArrayCode, invariants};
+///
+/// let code = HdpCode::new(7)?;
+/// assert_eq!(code.disks(), 6);
+/// // Two parities per disk — HDP's load-balancing signature.
+/// assert_eq!(invariants::parities_per_column(code.layout()), vec![2; 6]);
+/// # Ok::<(), raid_baselines::CodeError>(())
+/// ```
+#[derive(Debug)]
+pub struct HdpCode {
+    p: Prime,
+    layout: Layout,
+}
+
+impl HdpCode {
+    /// Builds HDP for prime `p ≥ 5`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError`] if `p` is not prime or `p = 3` (a 2×2 stripe
+    /// of parities with no data).
+    pub fn new(p: usize) -> Result<Self, CodeError> {
+        let prime = Prime::new(p)?;
+        if p < 5 {
+            return Err(CodeError::TooSmall { p, min: 5 });
+        }
+        Ok(HdpCode { p: prime, layout: build_layout(prime) })
+    }
+}
+
+impl ArrayCode for HdpCode {
+    fn name(&self) -> &str {
+        "HDP"
+    }
+
+    fn prime(&self) -> Prime {
+        self.p
+    }
+
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+fn build_layout(p: Prime) -> Layout {
+    let pv = p.get();
+    let n = pv - 1; // rows = cols = p − 1, 0-based
+
+    let mut kinds = vec![ElementKind::Data; n * n];
+    for i in 0..n {
+        kinds[Cell::new(i, i).index(n)] = ElementKind::Parity(ParityClass::HorizontalDiagonal);
+        kinds[Cell::new(i, n - 1 - i).index(n)] = ElementKind::Parity(ParityClass::AntiDiagonal);
+    }
+
+    let mut chains = Vec::with_capacity(2 * n);
+    // Horizontal-diagonal chains: E_{i,i} = XOR of the rest of row i,
+    // anti-diagonal parity included.
+    for i in 0..n {
+        chains.push(Chain {
+            class: ParityClass::HorizontalDiagonal,
+            parity: Cell::new(i, i),
+            members: (0..n).filter(|&j| j != i).map(|j| Cell::new(i, j)).collect(),
+        });
+    }
+    // Anti-diagonal chains: the wrapped diagonal row − col ≡ 2i + 2 (mod p)
+    // through the parity cell E_{i, p−2−i}.
+    for i in 0..n {
+        let d = (2 * i + 2) % pv;
+        let parity = Cell::new(i, n - 1 - i);
+        let members: Vec<Cell> = (0..n)
+            .filter_map(|r| {
+                let c = (r + pv - d) % pv;
+                if c >= n {
+                    return None; // falls off the grid
+                }
+                let cell = Cell::new(r, c);
+                (cell != parity).then_some(cell)
+            })
+            .collect();
+        debug_assert!(
+            members.iter().all(|&m| m.row != m.col),
+            "HDP anti-diagonal chain crosses a horizontal-diagonal parity"
+        );
+        chains.push(Chain { class: ParityClass::AntiDiagonal, parity, members });
+    }
+
+    Layout::new(n, n, kinds, chains).expect("HDP construction yields a valid layout")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_raid6_code;
+    use raid_core::invariants;
+    use raid_core::plan::update::{update_complexity, worst_case_updates};
+
+    #[test]
+    fn rejects_small_and_composite() {
+        assert!(matches!(HdpCode::new(3), Err(CodeError::TooSmall { .. })));
+        assert!(HdpCode::new(15).is_err());
+        assert!(HdpCode::new(5).is_ok());
+    }
+
+    #[test]
+    fn geometry_balanced_two_parities_per_disk() {
+        for p in [5usize, 7, 11, 13] {
+            let code = HdpCode::new(p).unwrap();
+            assert_eq!(code.disks(), p - 1);
+            assert_eq!(
+                invariants::parities_per_column(code.layout()),
+                vec![2; p - 1],
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_lengths_match_table_three() {
+        // Table III: HDP parity chains have lengths p−2 (anti-diagonal) and
+        // p−1 (horizontal-diagonal).
+        for p in [5usize, 7, 11, 13] {
+            let code = HdpCode::new(p).unwrap();
+            assert_eq!(
+                code.layout().chain_length_histogram(),
+                vec![(p - 2, p - 1), (p - 1, p - 1)],
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_complexity_is_three() {
+        // Table III: HDP has 3 extra updates — a data write renews its
+        // horizontal-diagonal parity, its anti-diagonal parity, and the
+        // horizontal-diagonal parity of the row hosting that anti-diagonal
+        // parity.
+        for p in [5usize, 7, 11] {
+            let code = HdpCode::new(p).unwrap();
+            let avg = update_complexity(code.layout());
+            assert!((avg - 3.0).abs() < 0.35, "p={p}: avg {avg}");
+            assert_eq!(worst_case_updates(code.layout()), 3, "p={p}");
+        }
+    }
+
+    #[test]
+    fn raid6_battery() {
+        for p in [5usize, 7, 11, 13] {
+            assert_raid6_code(&HdpCode::new(p).unwrap());
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! A Liberation-style minimum-density bit-matrix RAID-6 code (Plank,
+//! FAST'08 — cited in the paper's list of MDS RAID-6 codes).
+//!
+//! Bit-matrix codes split every disk's stripe unit into `w = p` *packets*
+//! and describe the second parity disk by one `w × w` binary matrix `X_i`
+//! per data disk: Q's packet `r` is the XOR of the data packets selected by
+//! row `r` of every `X_i`. The P disk uses identity matrices (plain row
+//! XOR). The code is MDS iff every `X_i` and every pairwise sum
+//! `X_i ⊕ X_j` is nonsingular over GF(2).
+//!
+//! Liberation codes choose `X_i = σ^i ⊕ E_i` — a cyclic shift plus a
+//! *single extra one* — hitting the minimum possible density (`w + 1` ones
+//! per matrix) so updates touch as few Q packets as possible. Plank gives
+//! closed-form positions for the extra ones; this implementation instead
+//! **searches** the extra-one position per disk (first-fit with
+//! backtracking) and verifies the nonsingularity conditions, yielding
+//! matrices with the same density and the same MDS guarantee (the
+//! exhaustive battery below is the proof; see DESIGN.md §2).
+//!
+//! Because a packet is just a row of the layout grid, the whole
+//! construction maps onto [`Layout`] — `w` rows, `k + 2` columns — and
+//! inherits every generic planner.
+
+use raid_core::layout::{Chain, ElementKind, ParityClass};
+use raid_core::{ArrayCode, Cell, Layout};
+use raid_math::Prime;
+
+use crate::CodeError;
+
+/// A `w × w` binary matrix stored as one `u32` bitmask per row.
+type BitMat = Vec<u32>;
+
+fn identity(w: usize) -> BitMat {
+    (0..w).map(|r| 1u32 << r).collect()
+}
+
+/// Cyclic shift: row `r` has its one at column `(r + s) mod w`.
+fn shift(w: usize, s: usize) -> BitMat {
+    (0..w).map(|r| 1u32 << ((r + s) % w)).collect()
+}
+
+fn xor_mat(a: &BitMat, b: &BitMat) -> BitMat {
+    a.iter().zip(b).map(|(x, y)| x ^ y).collect()
+}
+
+/// Nonsingularity over GF(2) by elimination on row bitmasks.
+fn invertible(m: &BitMat) -> bool {
+    let w = m.len();
+    let mut rows = m.clone();
+    let mut rank = 0;
+    for col in 0..w {
+        let Some(pivot) = (rank..w).find(|&r| rows[r] >> col & 1 == 1) else {
+            continue;
+        };
+        rows.swap(rank, pivot);
+        for r in 0..w {
+            if r != rank && rows[r] >> col & 1 == 1 {
+                rows[r] ^= rows[rank];
+            }
+        }
+        rank += 1;
+    }
+    rank == w
+}
+
+/// Searches the per-disk coding matrices: `X_0 = I`, and for `i ≥ 1`
+/// `X_i = σ^i ⊕ (one extra bit)` such that every matrix and every pairwise
+/// sum stays nonsingular. Backtracking first-fit over the `w²` candidate
+/// positions per disk.
+fn search_matrices(w: usize, k: usize) -> Option<Vec<BitMat>> {
+    fn go(w: usize, k: usize, acc: &mut Vec<BitMat>) -> bool {
+        if acc.len() == k {
+            return true;
+        }
+        let i = acc.len();
+        let base = shift(w, i);
+        for r in 0..w {
+            for c in 0..w {
+                let mut cand = base.clone();
+                cand[r] ^= 1u32 << c;
+                if cand[r] == 0 {
+                    continue; // the extra one cancelled the shift's one
+                }
+                if !invertible(&cand) {
+                    continue;
+                }
+                if acc.iter().all(|x| invertible(&xor_mat(x, &cand))) {
+                    acc.push(cand);
+                    if go(w, k, acc) {
+                        return true;
+                    }
+                    acc.pop();
+                }
+            }
+        }
+        false
+    }
+
+    let mut acc = vec![identity(w)];
+    // X_0 = I already satisfies invertibility; pairs are checked as the
+    // others are placed.
+    go(w, k, &mut acc).then_some(acc)
+}
+
+/// The Liberation-style code over `k + 2` disks with `w = p` packets.
+///
+/// ```
+/// use raid_baselines::liberation::LiberationCode;
+/// use raid_core::ArrayCode;
+///
+/// let code = LiberationCode::new(5)?; // w = 5 packets, 7 disks
+/// assert_eq!(code.disks(), 7);
+/// assert_eq!(code.rows(), 5);
+/// # Ok::<(), raid_baselines::CodeError>(())
+/// ```
+#[derive(Debug)]
+pub struct LiberationCode {
+    p: Prime,
+    layout: Layout,
+    /// Ones per Q coding matrix, for density reporting.
+    matrix_ones: Vec<usize>,
+}
+
+impl LiberationCode {
+    /// Builds the code with `k = p` data disks (the full-width shape).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError`] if `p` is not prime or the matrix search
+    /// fails (it succeeds for every prime the tests sweep).
+    pub fn new(p: usize) -> Result<Self, CodeError> {
+        let prime = Prime::new(p)?;
+        let w = p;
+        let k = p;
+        let mats = search_matrices(w, k).ok_or(CodeError::TooSmall { p, min: 5 })?;
+        let matrix_ones = mats
+            .iter()
+            .map(|m| m.iter().map(|r| r.count_ones() as usize).sum())
+            .collect();
+        Ok(LiberationCode { p: prime, layout: build_layout(w, k, &mats), matrix_ones })
+    }
+
+    /// Ones per coding matrix — `w` for `X_0` (identity) and `w + 1` for
+    /// the rest, the minimum-density signature.
+    pub fn matrix_ones(&self) -> &[usize] {
+        &self.matrix_ones
+    }
+}
+
+impl ArrayCode for LiberationCode {
+    fn name(&self) -> &str {
+        "Liberation"
+    }
+
+    fn prime(&self) -> Prime {
+        self.p
+    }
+
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+fn build_layout(w: usize, k: usize, mats: &[BitMat]) -> Layout {
+    let cols = k + 2;
+    let (p_col, q_col) = (k, k + 1);
+
+    let mut kinds = vec![ElementKind::Data; w * cols];
+    for r in 0..w {
+        kinds[Cell::new(r, p_col).index(cols)] = ElementKind::Parity(ParityClass::Horizontal);
+        kinds[Cell::new(r, q_col).index(cols)] = ElementKind::Parity(ParityClass::Diagonal);
+    }
+
+    let mut chains = Vec::with_capacity(2 * w);
+    // P: plain row parity over the data disks.
+    for r in 0..w {
+        chains.push(Chain {
+            class: ParityClass::Horizontal,
+            parity: Cell::new(r, p_col),
+            members: (0..k).map(|i| Cell::new(r, i)).collect(),
+        });
+    }
+    // Q: packet r gathers data packet c of disk i wherever X_i[r][c] = 1.
+    for r in 0..w {
+        let mut members = Vec::new();
+        for (i, x) in mats.iter().enumerate() {
+            for c in 0..w {
+                if x[r] >> c & 1 == 1 {
+                    members.push(Cell::new(c, i));
+                }
+            }
+        }
+        chains.push(Chain {
+            class: ParityClass::Diagonal,
+            parity: Cell::new(r, q_col),
+            members,
+        });
+    }
+
+    Layout::new(w, cols, kinds, chains).expect("Liberation construction yields a valid layout")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_raid6_code;
+    use raid_core::plan::update::update_complexity;
+
+    #[test]
+    fn construction_succeeds_and_is_minimum_density() {
+        for p in [5usize, 7, 11, 13] {
+            let code = LiberationCode::new(p).unwrap();
+            let ones = code.matrix_ones();
+            assert_eq!(ones[0], p, "X_0 is the identity");
+            assert!(
+                ones[1..].iter().all(|&o| o == p + 1),
+                "p={p}: non-minimal density {ones:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn q_chains_have_minimal_total_size() {
+        // Total Q-chain membership = total ones = p + (p−1)(p+1) = p² + p − 1...
+        // wait: k = p matrices: identity (p ones) + (p−1) matrices of p+1.
+        for p in [5usize, 7, 11] {
+            let code = LiberationCode::new(p).unwrap();
+            let q_members: usize = code
+                .layout()
+                .chains()
+                .iter()
+                .filter(|ch| matches!(ch.class, ParityClass::Diagonal))
+                .map(|ch| ch.members.len())
+                .sum();
+            assert_eq!(q_members, p + (p - 1) * (p + 1), "p={p}");
+        }
+    }
+
+    #[test]
+    fn update_complexity_near_optimal() {
+        // Each data packet is in exactly one P chain and on average just
+        // over one Q chain — the minimum-density promise.
+        for p in [5usize, 7, 11] {
+            let code = LiberationCode::new(p).unwrap();
+            let avg = update_complexity(code.layout());
+            let expected = 1.0 + (p as f64 * p as f64 + p as f64 - 1.0) / (p as f64 * p as f64);
+            assert!((avg - expected).abs() < 1e-9, "p={p}: {avg} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn raid6_battery() {
+        for p in [5usize, 7, 11] {
+            assert_raid6_code(&LiberationCode::new(p).unwrap());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! P-Code (Jin, Jiang, Feng & Tian, ICS 2009) — the `p`-disk variant shown
+//! in Fig. 3 of the HV paper.
+//!
+//! A vertical code over `p` disks with `(p−1)/2` rows. Row 0 of disks
+//! `1..p−1` (1-based) holds the parities `P_1..P_{p−1}`; every data element
+//! is identified with an unordered pair `{i, j} ⊂ {1..p−1}` and placed on
+//! disk `⟨i + j⟩_p` (disk `p` takes the pairs summing to `0 (mod p)` and
+//! holds no parity). The element for `{i, j}` joins exactly the two chains
+//! `P_i` and `P_j` — e.g. for `p = 7`, the element `E_{2,1}` joins `P_2`
+//! and `P_6` since `(2 + 6) mod 7 = 1`, matching the paper's caption.
+//!
+//! The pair→row assignment ("the mapping table" whose absence the HV paper
+//! criticizes) is fixed canonically here: each disk's pairs are sorted by
+//! their smaller endpoint and stacked top-down.
+
+use raid_core::layout::{Chain, ElementKind, ParityClass};
+use raid_core::{ArrayCode, Cell, Layout};
+use raid_math::Prime;
+
+use crate::CodeError;
+
+/// The P-Code over `p` disks.
+///
+/// ```
+/// use raid_baselines::PCode;
+///
+/// let code = PCode::new(7)?;
+/// // Fig. 3's rule: the element joining P_2 and P_6 sits on disk ⟨2+6⟩_7.
+/// assert_eq!(code.disk_of_pair(2, 6), 0); // 0-based disk #1
+/// # Ok::<(), raid_baselines::CodeError>(())
+/// ```
+#[derive(Debug)]
+pub struct PCode {
+    p: Prime,
+    layout: Layout,
+}
+
+impl PCode {
+    /// Builds P-Code for prime `p ≥ 3`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError`] if `p` is not prime.
+    pub fn new(p: usize) -> Result<Self, CodeError> {
+        let prime = Prime::new(p)?;
+        Ok(PCode { p: prime, layout: build_layout(prime) })
+    }
+
+    /// The disk (0-based) hosting the data element for pair `{i, j}`
+    /// (1-based, `i ≠ j`, both in `1..p−1`) — the paper's `⟨i+j⟩_p` rule,
+    /// with disk `p` (0-based `p − 1`) taking the pairs summing to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of `1..=p−1`.
+    pub fn disk_of_pair(&self, i: usize, j: usize) -> usize {
+        let pv = self.p.get();
+        assert!(i != j && (1..pv).contains(&i) && (1..pv).contains(&j), "bad pair {{{i},{j}}}");
+        let k = (i + j) % pv;
+        if k == 0 {
+            pv - 1
+        } else {
+            k - 1
+        }
+    }
+}
+
+impl ArrayCode for PCode {
+    fn name(&self) -> &str {
+        "P-Code"
+    }
+
+    fn prime(&self) -> Prime {
+        self.p
+    }
+
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+fn build_layout(p: Prime) -> Layout {
+    let pv = p.get();
+    let rows = (pv - 1) / 2;
+    let cols = pv;
+
+    // Enumerate each disk's pairs, sorted by smaller endpoint.
+    let mut pairs_of_disk: Vec<Vec<(usize, usize)>> = vec![Vec::new(); cols];
+    for i in 1..pv {
+        for j in (i + 1)..pv {
+            let k = (i + j) % pv;
+            let disk = if k == 0 { pv - 1 } else { k - 1 };
+            pairs_of_disk[disk].push((i, j));
+        }
+    }
+    for pairs in &mut pairs_of_disk {
+        pairs.sort_unstable();
+    }
+
+    let mut kinds = vec![ElementKind::Data; rows * cols];
+    for disk in 0..pv - 1 {
+        kinds[Cell::new(0, disk).index(cols)] = ElementKind::Parity(ParityClass::Vertical);
+    }
+
+    // Cell of each pair: parity disks stack data from row 1, the last disk
+    // from row 0.
+    let mut members_of_parity: Vec<Vec<Cell>> = vec![Vec::new(); pv - 1];
+    for (disk, pairs) in pairs_of_disk.iter().enumerate() {
+        let base = if disk == pv - 1 { 0 } else { 1 };
+        for (slot, &(i, j)) in pairs.iter().enumerate() {
+            let cell = Cell::new(base + slot, disk);
+            members_of_parity[i - 1].push(cell);
+            members_of_parity[j - 1].push(cell);
+        }
+    }
+
+    let chains: Vec<Chain> = members_of_parity
+        .into_iter()
+        .enumerate()
+        .map(|(idx, members)| Chain {
+            class: ParityClass::Vertical,
+            parity: Cell::new(0, idx),
+            members,
+        })
+        .collect();
+
+    Layout::new(rows, cols, kinds, chains).expect("P-Code construction yields a valid layout")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_raid6_code;
+    use raid_core::invariants;
+    use raid_core::plan::update::update_complexity;
+
+    #[test]
+    fn figure_three_pairing_rule() {
+        // Fig. 3 caption (p = 7): the data element joining P_2 and P_6
+        // lives on disk ⟨2+6⟩_7 = 1 (1-based), i.e. 0-based disk 0.
+        let code = PCode::new(7).unwrap();
+        assert_eq!(code.disk_of_pair(2, 6), 0);
+        // Pairs summing to 0 mod p land on the last disk.
+        assert_eq!(code.disk_of_pair(3, 4), 6);
+    }
+
+    #[test]
+    fn geometry() {
+        for p in [5usize, 7, 11, 13] {
+            let code = PCode::new(p).unwrap();
+            let l = code.layout();
+            assert_eq!(l.rows(), (p - 1) / 2, "p={p}");
+            assert_eq!(l.cols(), p);
+            // Disks 0..p−2 one parity each, last disk none.
+            let mut expect = vec![1; p - 1];
+            expect.push(0);
+            assert_eq!(invariants::parities_per_column(l), expect, "p={p}");
+            // Every chain has p − 2 data members (length p − 1).
+            assert_eq!(l.chain_length_histogram(), vec![(p - 1, p - 1)], "p={p}");
+            // Each data element joins exactly two chains.
+            assert_eq!(invariants::data_membership_range(l), (2, 2), "p={p}");
+            assert!((update_complexity(l) - 2.0).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad pair")]
+    fn rejects_degenerate_pair() {
+        PCode::new(7).unwrap().disk_of_pair(3, 3);
+    }
+
+    #[test]
+    fn raid6_battery() {
+        for p in [3usize, 5, 7, 11, 13] {
+            assert_raid6_code(&PCode::new(p).unwrap());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! X-Code (Xu & Bruck, IEEE Trans. Information Theory 1999).
+//!
+//! A vertical code over `p` disks with a `p × p` stripe: rows `0..p−2` hold
+//! data, row `p − 2` the diagonal parities and row `p − 1` the
+//! anti-diagonal parities:
+//!
+//! * `E[p−2][i] = ⊕_{k=0}^{p−3} E[k][(i + k + 2) mod p]`
+//! * `E[p−1][i] = ⊕_{k=0}^{p−3} E[k][(i − k − 2) mod p]`
+//!
+//! Every data element lies on exactly one diagonal and one anti-diagonal
+//! (optimal update complexity 2), parities are spread two per disk (perfect
+//! balance, four parallel recovery chains), but no two row-adjacent data
+//! elements share a chain — the reason the paper finds X-Code poor at
+//! partial stripe writes despite its recovery strengths.
+
+use raid_core::layout::{Chain, ElementKind, ParityClass};
+use raid_core::{ArrayCode, Cell, Layout};
+use raid_math::Prime;
+
+use crate::CodeError;
+
+/// The X-Code over `p` disks.
+///
+/// ```
+/// use raid_baselines::XCode;
+/// use raid_core::ArrayCode;
+///
+/// let code = XCode::new(5)?;
+/// assert_eq!(code.disks(), 5);
+/// assert_eq!(code.rows(), 5);            // p×p stripe, 2 parity rows
+/// # Ok::<(), raid_baselines::CodeError>(())
+/// ```
+#[derive(Debug)]
+pub struct XCode {
+    p: Prime,
+    layout: Layout,
+}
+
+impl XCode {
+    /// Builds X-Code for prime `p ≥ 5`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError`] if `p` is not prime or `p = 3` (which leaves a
+    /// single data row of limited interest but is still valid — we allow 3).
+    pub fn new(p: usize) -> Result<Self, CodeError> {
+        let prime = Prime::new(p)?;
+        Ok(XCode { p: prime, layout: build_layout(prime) })
+    }
+}
+
+impl ArrayCode for XCode {
+    fn name(&self) -> &str {
+        "X-Code"
+    }
+
+    fn prime(&self) -> Prime {
+        self.p
+    }
+
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+fn build_layout(p: Prime) -> Layout {
+    let pv = p.get();
+    let rows = pv;
+    let cols = pv;
+
+    let mut kinds = vec![ElementKind::Data; rows * cols];
+    for c in 0..cols {
+        kinds[Cell::new(pv - 2, c).index(cols)] = ElementKind::Parity(ParityClass::Diagonal);
+        kinds[Cell::new(pv - 1, c).index(cols)] = ElementKind::Parity(ParityClass::AntiDiagonal);
+    }
+
+    let mut chains = Vec::with_capacity(2 * cols);
+    for i in 0..cols {
+        let diag: Vec<Cell> =
+            (0..pv - 2).map(|k| Cell::new(k, (i + k + 2) % pv)).collect();
+        chains.push(Chain {
+            class: ParityClass::Diagonal,
+            parity: Cell::new(pv - 2, i),
+            members: diag,
+        });
+    }
+    for i in 0..cols {
+        let anti: Vec<Cell> = (0..pv - 2)
+            .map(|k| Cell::new(k, (i + pv - ((k + 2) % pv)) % pv))
+            .collect();
+        chains.push(Chain {
+            class: ParityClass::AntiDiagonal,
+            parity: Cell::new(pv - 1, i),
+            members: anti,
+        });
+    }
+
+    Layout::new(rows, cols, kinds, chains).expect("X-Code construction yields a valid layout")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_raid6_code;
+    use raid_core::invariants;
+    use raid_core::plan::update::update_complexity;
+    use raid_core::schedule::double_failure_schedule;
+
+    #[test]
+    fn geometry() {
+        let code = XCode::new(5).unwrap();
+        assert_eq!(code.disks(), 5);
+        assert_eq!(code.rows(), 5);
+        assert_eq!(invariants::parities_per_column(code.layout()), vec![2; 5]);
+        assert_eq!(invariants::data_membership_range(code.layout()), (2, 2));
+    }
+
+    #[test]
+    fn chain_lengths_are_p_minus_1() {
+        // Table III: X-Code parity chain length p − 1.
+        for p in [5usize, 7, 11, 13] {
+            let code = XCode::new(p).unwrap();
+            assert_eq!(
+                code.layout().chain_length_histogram(),
+                vec![(p - 1, 2 * p)],
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_update_complexity() {
+        for p in [5usize, 7, 11] {
+            let code = XCode::new(p).unwrap();
+            assert!((update_complexity(code.layout()) - 2.0).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn no_adjacent_data_shares_a_chain() {
+        // Section II-C: "any two continuous data elements do not share a
+        // common parity element" — the root of X-Code's partial-write cost.
+        for p in [5usize, 7, 11] {
+            let code = XCode::new(p).unwrap();
+            let l = code.layout();
+            let data = l.data_cells();
+            for w in data.windows(2) {
+                if w[0].row != w[1].row {
+                    continue; // row-crossing adjacency is a different story
+                }
+                let a: std::collections::HashSet<_> =
+                    l.chains_containing(w[0]).iter().collect();
+                let shared = l.chains_containing(w[1]).iter().any(|c| a.contains(c));
+                assert!(!shared, "p={p}: {} and {} share a chain", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn four_recovery_chains_on_double_failure() {
+        // Table III: X-Code has 4 recovery chains.
+        for p in [5usize, 7, 11] {
+            let code = XCode::new(p).unwrap();
+            for f1 in 0..p {
+                for f2 in (f1 + 1)..p {
+                    let sched = double_failure_schedule(code.layout(), f1, f2).unwrap();
+                    assert_eq!(sched.num_chains, 4, "p={p} ({f1},{f2})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raid6_battery() {
+        for p in [5usize, 7, 11, 13] {
+            assert_raid6_code(&XCode::new(p).unwrap());
+        }
+    }
+}

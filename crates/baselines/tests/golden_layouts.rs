@@ -1,0 +1,60 @@
+//! Golden-layout snapshots: pin each construction's parity placement so an
+//! accidental change to the build functions cannot slip past the (shape-
+//! insensitive) MDS tests. Legend: `.` data, `H` horizontal, `V` vertical,
+//! `D` diagonal, `A` anti-diagonal, `X` horizontal-diagonal parity.
+
+use raid_baselines::{EvenOddCode, HCode, HdpCode, PCode, RdpCode, XCode};
+use raid_core::ArrayCode;
+
+#[test]
+fn rdp_p5() {
+    assert_eq!(
+        RdpCode::new(5).unwrap().layout().render_ascii(),
+        "....HD\n....HD\n....HD\n....HD\n"
+    );
+}
+
+#[test]
+fn evenodd_p5() {
+    assert_eq!(
+        EvenOddCode::new(5).unwrap().layout().render_ascii(),
+        ".....HD\n.....HD\n.....HD\n.....HD\n"
+    );
+}
+
+#[test]
+fn xcode_p5() {
+    assert_eq!(
+        XCode::new(5).unwrap().layout().render_ascii(),
+        ".....\n.....\n.....\nDDDDD\nAAAAA\n"
+    );
+}
+
+#[test]
+fn hcode_p5() {
+    // Disk 0 data-only, anti-diagonal parities on the shifted diagonal,
+    // dedicated horizontal disk last.
+    assert_eq!(
+        HCode::new(5).unwrap().layout().render_ascii(),
+        ".A...H\n..A..H\n...A.H\n....AH\n"
+    );
+}
+
+#[test]
+fn hdp_p5() {
+    // Horizontal-diagonal parity on the main diagonal, anti-diagonal parity
+    // on the anti-diagonal.
+    assert_eq!(
+        HdpCode::new(5).unwrap().layout().render_ascii(),
+        "X..A\n.XA.\n.AX.\nA..X\n"
+    );
+}
+
+#[test]
+fn pcode_p7() {
+    // Parity row across disks 1..p−1; last disk data-only.
+    assert_eq!(
+        PCode::new(7).unwrap().layout().render_ascii(),
+        "VVVVVV.\n.......\n.......\n"
+    );
+}

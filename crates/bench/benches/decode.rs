@@ -1,0 +1,76 @@
+//! Double-disk-failure decoding throughput: the generic peeling decoder for
+//! every code, plus HV Code's specialized Algorithm-1 path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hv_code::HvCode;
+use raid_bench::codes::evaluated;
+use raid_core::{decoder, ArrayCode, Stripe};
+
+const ELEMENT: usize = 4096;
+
+fn bench_generic_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("double_failure_decode");
+    let p = 13;
+    for code in evaluated(p) {
+        let layout = code.layout();
+        let mut pristine = Stripe::for_layout(layout, ELEMENT);
+        pristine.fill_data_seeded(layout, 2);
+        code.encode(&mut pristine);
+        let (f1, f2) = (0, layout.cols() / 2);
+        let mut lost = layout.cells_in_col(f1);
+        lost.extend(layout.cells_in_col(f2));
+
+        group.bench_with_input(
+            BenchmarkId::new(code.name().replace(' ', "_"), p),
+            &p,
+            |b, _| {
+                b.iter(|| {
+                    let mut broken = pristine.clone();
+                    broken.erase_col(f1);
+                    broken.erase_col(f2);
+                    decoder::decode(&mut broken, layout, &lost).unwrap();
+                    std::hint::black_box(&broken);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hv_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hv_algorithm1_vs_generic");
+    for p in [7usize, 13, 23] {
+        let code = HvCode::new(p).unwrap();
+        let layout = code.layout();
+        let mut pristine = Stripe::for_layout(layout, ELEMENT);
+        pristine.fill_data_seeded(layout, 3);
+        code.encode(&mut pristine);
+        let (f1, f2) = (0, layout.cols() / 2);
+
+        group.bench_with_input(BenchmarkId::new("algorithm1", p), &p, |b, _| {
+            b.iter(|| {
+                let mut broken = pristine.clone();
+                broken.erase_col(f1);
+                broken.erase_col(f2);
+                code.repair_double_disk(&mut broken, f1, f2).unwrap();
+                std::hint::black_box(&broken);
+            })
+        });
+
+        let mut lost = layout.cells_in_col(f1);
+        lost.extend(layout.cells_in_col(f2));
+        group.bench_with_input(BenchmarkId::new("generic_peel", p), &p, |b, _| {
+            b.iter(|| {
+                let mut broken = pristine.clone();
+                broken.erase_col(f1);
+                broken.erase_col(f2);
+                decoder::decode(&mut broken, layout, &lost).unwrap();
+                std::hint::black_box(&broken);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generic_decode, bench_hv_algorithm1);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Full-stripe encoding throughput for every code (plus the Reed–Solomon
+//! baselines), the "encode complexity" axis of the paper's Section IV.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use raid_bench::codes::extended;
+use raid_core::Stripe;
+use raid_rs::{CauchyRs, PqRaid6};
+
+const ELEMENT: usize = 4096;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_stripe");
+    for p in [7usize, 13] {
+        for code in extended(p) {
+            let layout = code.layout();
+            let mut stripe = Stripe::for_layout(layout, ELEMENT);
+            stripe.fill_data_seeded(layout, 1);
+            let bytes = (layout.num_data_cells() * ELEMENT) as u64;
+            group.throughput(Throughput::Bytes(bytes));
+            group.bench_with_input(
+                BenchmarkId::new(code.name().replace(' ', "_"), p),
+                &p,
+                |b, _| {
+                    b.iter(|| {
+                        code.encode(&mut stripe);
+                        std::hint::black_box(&stripe);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_rs_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_rs");
+    let k = 12;
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..ELEMENT).map(|b| (b * 31 + i) as u8).collect())
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+    group.throughput(Throughput::Bytes((k * ELEMENT) as u64));
+
+    let pq = PqRaid6::new(k).unwrap();
+    group.bench_function("pq_raid6", |b| {
+        b.iter(|| std::hint::black_box(pq.encode(&refs).unwrap()))
+    });
+    let cauchy = CauchyRs::raid6(k).unwrap();
+    group.bench_function("cauchy_raid6", |b| {
+        b.iter(|| std::hint::black_box(cauchy.encode(&refs).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    use raid_math::{gf256, xor};
+    let mut group = c.benchmark_group("kernels");
+    let src = vec![0xA5u8; 64 * 1024];
+    let mut dst = vec![0x5Au8; 64 * 1024];
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("xor_64k", |b| {
+        b.iter(|| {
+            xor::xor_into(&mut dst, &src);
+            std::hint::black_box(&dst);
+        })
+    });
+    group.bench_function("gf256_mul_acc_64k", |b| {
+        b.iter(|| {
+            gf256::mul_acc_slice(0x1D, &src, &mut dst);
+            std::hint::black_box(&dst);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_rs_encode, bench_kernels);
+criterion_main!(benches);

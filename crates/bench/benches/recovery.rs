@@ -1,0 +1,54 @@
+//! Recovery planning cost: the hybrid single-disk recovery search
+//! strategies (exhaustive vs greedy vs anneal) and the double-failure
+//! scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raid_bench::codes::evaluated;
+use raid_core::plan::single::{plan_single_disk_recovery, SearchStrategy};
+use raid_core::schedule::double_failure_schedule;
+
+fn bench_single_disk_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_disk_plan");
+    let p = 13;
+    for code in evaluated(p) {
+        let layout = code.layout();
+        let name = code.name().replace(' ', "_");
+        for (label, strategy) in [
+            ("exhaustive", SearchStrategy::Exhaustive),
+            ("greedy", SearchStrategy::Greedy),
+            ("anneal", SearchStrategy::Anneal { iters: 20_000, seed: 1 }),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/{label}"), p),
+                &p,
+                |b, _| {
+                    b.iter(|| {
+                        std::hint::black_box(plan_single_disk_recovery(layout, 0, strategy))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_double_failure_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("double_failure_schedule");
+    for p in [7usize, 13, 23] {
+        for code in evaluated(p) {
+            let layout = code.layout();
+            let name = code.name().replace(' ', "_");
+            group.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        double_failure_schedule(layout, 0, layout.cols() / 2).unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_disk_plan, bench_double_failure_schedule);
+criterion_main!(benches);

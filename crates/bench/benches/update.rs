@@ -1,0 +1,52 @@
+//! Single-data-element update cost: the controller's read-modify-write
+//! with incremental parity updates (the paper's "update complexity" axis),
+//! and the Reed–Solomon P+Q small-write for contrast.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raid_array::RaidVolume;
+use raid_bench::codes::evaluated;
+use raid_rs::PqRaid6;
+
+const ELEMENT: usize = 4096;
+
+fn bench_volume_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_element_update");
+    let p = 13;
+    for code in evaluated(p) {
+        let name = code.name().replace(' ', "_");
+        let mut volume = RaidVolume::new(Arc::clone(&code), 2, ELEMENT);
+        let buf = vec![0xA5u8; ELEMENT];
+        let mut addr = 0usize;
+        group.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {
+            b.iter(|| {
+                addr = (addr + 7) % volume.data_elements();
+                std::hint::black_box(volume.write(addr, &buf).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rs_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_element_update_rs");
+    let k = 12;
+    let code = PqRaid6::new(k).unwrap();
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..ELEMENT).map(|b| (b + i) as u8).collect())
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+    let (mut pbuf, mut qbuf) = code.encode(&refs).unwrap();
+    let newv = vec![0x5Au8; ELEMENT];
+    group.bench_function("pq_small_write", |b| {
+        b.iter(|| {
+            code.update(3, &data[3], &newv, &mut pbuf, &mut qbuf).unwrap();
+            std::hint::black_box((&pbuf, &qbuf));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_volume_update, bench_rs_update);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Prints each implemented code's stripe layout as an ASCII grid
+//! (`.` data, `H`/`V`/`D`/`A`/`X` parity classes) — handy for eyeballing a
+//! construction against the papers' figures.
+//!
+//! ```text
+//! cargo run -p raid-bench --bin print_layouts [p]
+//! ```
+
+use raid_core::ArrayCode;
+
+fn main() {
+    let p: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let codes: Vec<Box<dyn ArrayCode>> = vec![
+        Box::new(hv_code::HvCode::new(p).expect("prime p >= 5")),
+        Box::new(raid_baselines::RdpCode::new(p).expect("prime")),
+        Box::new(raid_baselines::EvenOddCode::new(p).expect("prime")),
+        Box::new(raid_baselines::XCode::new(p).expect("prime")),
+        Box::new(raid_baselines::HCode::new(p).expect("prime p >= 5")),
+        Box::new(raid_baselines::HdpCode::new(p).expect("prime p >= 5")),
+        Box::new(raid_baselines::PCode::new(p).expect("prime")),
+        Box::new(raid_baselines::LiberationCode::new(p).expect("prime")),
+    ];
+    for c in codes {
+        println!("--- {} (p = {p}, {} disks) ---", c.name(), c.disks());
+        print!("{}", c.layout().render_ascii());
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Numeric regression pins for the deterministic experiments: these exact
+//! values were measured by the harness and cross-checked against the
+//! paper's Fig. 9 shape (EXPERIMENTS.md); any construction or planner
+//! change that shifts them should be a conscious decision.
+
+use raid_bench::experiments::fig9;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 5e-4
+}
+
+#[test]
+fn fig9a_values_at_p7_are_pinned() {
+    let rows = fig9::run_9a(&[7]);
+    let get = |n: &str| rows.iter().find(|r| r.code == n).unwrap().reads_per_element;
+    assert!(close(get("HV Code"), 3.000), "{}", get("HV Code"));
+    assert!(close(get("HDP"), 3.167), "{}", get("HDP"));
+    assert!(close(get("X-Code"), 3.714), "{}", get("X-Code"));
+    assert!(close(get("RDP"), 4.688), "{}", get("RDP"));
+    assert!(close(get("H-Code"), 4.688), "{}", get("H-Code"));
+}
+
+#[test]
+fn fig9b_values_at_p7_are_pinned() {
+    let rows = fig9::run_9b(&[7]);
+    let get = |n: &str| rows.iter().find(|r| r.code == n).unwrap();
+    assert!(close(get("HV Code").expected_lc, 4.20));
+    assert!(close(get("X-Code").expected_lc, 5.00));
+    assert!(close(get("HDP").expected_lc, 8.40));
+    assert!(close(get("RDP").expected_lc, 7.5714));
+    assert!(close(get("H-Code").expected_lc, 7.5714));
+    assert!(close(get("HV Code").avg_chains, 4.0));
+    assert!(close(get("X-Code").avg_chains, 4.0));
+    assert!(close(get("HDP").avg_chains, 2.0));
+}
+
+#[test]
+fn paper_quoted_percentages_hold_at_p7() {
+    // §V-C: HV saves 5.4% vs HDP and up to 39.8% vs H-Code at p = 7.
+    let rows = fig9::run_9a(&[7]);
+    let get = |n: &str| rows.iter().find(|r| r.code == n).unwrap().reads_per_element;
+    let hv = get("HV Code");
+    let vs_hdp = 1.0 - hv / get("HDP");
+    let vs_hcode = 1.0 - hv / get("H-Code");
+    assert!((0.03..0.08).contains(&vs_hdp), "vs HDP: {vs_hdp}");
+    assert!((0.30..0.45).contains(&vs_hcode), "vs H-Code: {vs_hcode}");
+
+    // §V-D: ~47% double-recovery time saving vs HDP at p = 7.
+    let rows = fig9::run_9b(&[7]);
+    let get = |n: &str| rows.iter().find(|r| r.code == n).unwrap().time_ms;
+    let saving = 1.0 - get("HV Code") / get("HDP");
+    assert!((0.42..0.55).contains(&saving), "vs HDP: {saving}");
+}

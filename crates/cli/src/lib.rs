@@ -1,0 +1,10 @@
+//! Library backing the `hvraid` command-line tool: the code registry,
+//! argument parsing, and each subcommand's implementation (kept in the
+//! library so they are unit-testable without spawning processes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod registry;

@@ -1,0 +1,27 @@
+//! `hvraid` — the command-line entry point; all logic lives in the library
+//! (see [`hvraid::commands`]).
+
+use std::process::ExitCode;
+
+use hvraid::args::parse;
+use hvraid::commands::{run, USAGE};
+
+fn main() -> ExitCode {
+    let parsed = match parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&parsed) {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

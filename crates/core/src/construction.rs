@@ -1,0 +1,497 @@
+//! HV Code construction: data/parity layout and the encoding equations.
+//!
+//! The paper indexes rows and columns `1..=p−1`; the public API of this
+//! crate is 0-based like the rest of the workspace, and the translation
+//! happens exactly once, here. Internal helpers that mirror the paper's
+//! formulas keep the 1-based convention and are suffixed `_1b`.
+
+use std::fmt;
+
+use raid_core::layout::{Chain, ElementKind, ParityClass};
+use raid_core::{ArrayCode, Cell, ChainId, Layout};
+use raid_math::modp::{div_mod, half_mod, mul_mod};
+use raid_math::prime::{NotPrimeError, Prime};
+
+/// Errors from [`HvCode::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HvCodeError {
+    /// The parameter is not prime.
+    NotPrime(NotPrimeError),
+    /// The prime is too small: `p = 3` yields a 2×2 stripe of parities and
+    /// no data at all, so HV Code requires `p ≥ 5`.
+    TooSmall {
+        /// The rejected prime.
+        p: usize,
+    },
+}
+
+impl fmt::Display for HvCodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvCodeError::NotPrime(e) => e.fmt(f),
+            HvCodeError::TooSmall { p } => {
+                write!(f, "HV Code requires p >= 5, got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HvCodeError {}
+
+impl From<NotPrimeError> for HvCodeError {
+    fn from(e: NotPrimeError) -> Self {
+        HvCodeError::NotPrime(e)
+    }
+}
+
+/// The HV Code over `p − 1` disks.
+///
+/// See the [crate docs](crate) for the construction; `HvCode` implements
+/// [`ArrayCode`], so all generic planners (partial-stripe writes, degraded
+/// reads, hybrid single-disk recovery) apply directly, and adds the
+/// paper-specific fast paths: Eq. (5)/(6) single-element repair and
+/// Algorithm 1 double-disk repair.
+#[derive(Debug)]
+pub struct HvCode {
+    p: Prime,
+    layout: Layout,
+}
+
+impl HvCode {
+    /// Builds the code for prime `p ≥ 5`, spanning `p − 1` disks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvCodeError`] if `p` is not prime or is `3`.
+    pub fn new(p: usize) -> Result<Self, HvCodeError> {
+        let prime = Prime::new(p)?;
+        if p < 5 {
+            return Err(HvCodeError::TooSmall { p });
+        }
+        let layout = build_layout(prime);
+        Ok(HvCode { p: prime, layout })
+    }
+
+    /// Number of disks, `p − 1`.
+    pub fn num_disks(&self) -> usize {
+        self.p.get() - 1
+    }
+
+    /// The column (0-based) of row `row`'s horizontal parity: `⟨2i⟩_p − 1`
+    /// for the 1-based row `i = row + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn horizontal_parity_col(&self, row: usize) -> usize {
+        assert!(row < self.num_disks(), "row {row} out of range");
+        mul_mod(2, row as i64 + 1, self.p) - 1
+    }
+
+    /// The column (0-based) of row `row`'s vertical parity: `⟨4i⟩_p − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn vertical_parity_col(&self, row: usize) -> usize {
+        assert!(row < self.num_disks(), "row {row} out of range");
+        mul_mod(4, row as i64 + 1, self.p) - 1
+    }
+
+    /// The horizontal chain of `row` (0-based).
+    pub(crate) fn horizontal_chain_id(&self, row: usize) -> ChainId {
+        ChainId(row)
+    }
+
+    /// The vertical chain anchored at row `row` (0-based), i.e. the chain
+    /// whose parity is `E[row, vertical_parity_col(row)]`.
+    pub(crate) fn vertical_chain_id(&self, row: usize) -> ChainId {
+        ChainId(self.num_disks() + row)
+    }
+
+    /// The vertical chain that contains the **data** cell `cell` as a
+    /// member: the chain anchored at row `s` with `⟨2k + 4s⟩_p = j` for the
+    /// 1-based `(k, j)` of `cell`, i.e. `s = ⟨(j − 2k)/4⟩_p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not a data cell (parities belong to no other
+    /// vertical chain).
+    pub fn vertical_chain_of(&self, cell: Cell) -> ChainId {
+        assert!(self.layout.is_data(cell), "{cell} is not a data cell");
+        let (k, j) = (cell.row as i64 + 1, cell.col as i64 + 1);
+        let s = div_mod(j - 2 * k, 4, self.p); // 1-based anchor row
+        debug_assert!(s >= 1);
+        self.vertical_chain_id(s - 1)
+    }
+
+    /// Sources for repairing `cell` through its **horizontal** chain —
+    /// Eq. (5) of the paper. Returns the cells whose XOR equals `cell`.
+    ///
+    /// ```
+    /// use hv_code::HvCode;
+    /// use raid_core::Cell;
+    ///
+    /// let code = HvCode::new(7)?;
+    /// // E_{1,1} (paper 1-based) = E[0,0]: its row chain has p − 3 = 4
+    /// // other elements.
+    /// assert_eq!(code.repair_sources_horizontal(Cell::new(0, 0)).len(), 4);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is the vertical parity of its row (vertical
+    /// parities are not covered by horizontal chains).
+    pub fn repair_sources_horizontal(&self, cell: Cell) -> Vec<Cell> {
+        let chain = self.layout.chain(self.horizontal_chain_id(cell.row));
+        assert!(
+            chain.cells().any(|c| c == cell),
+            "{cell} is not in its row's horizontal chain (vertical parity?)"
+        );
+        chain.cells().filter(|&c| c != cell).collect()
+    }
+
+    /// Sources for repairing `cell` through its **vertical** chain —
+    /// Eq. (6) of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is a horizontal parity (covered by no vertical
+    /// chain).
+    pub fn repair_sources_vertical(&self, cell: Cell) -> Vec<Cell> {
+        let id = match self.layout.kind(cell) {
+            ElementKind::Data => self.vertical_chain_of(cell),
+            ElementKind::Parity(ParityClass::Vertical) => self
+                .layout
+                .chain_of_parity(cell)
+                .expect("vertical parity owns its chain"),
+            ElementKind::Parity(_) => {
+                panic!("{cell} is a horizontal parity; no vertical chain covers it")
+            }
+        };
+        self.layout.chain(id).cells().filter(|&c| c != cell).collect()
+    }
+}
+
+impl ArrayCode for HvCode {
+    fn name(&self) -> &str {
+        "HV Code"
+    }
+
+    fn prime(&self) -> Prime {
+        self.p
+    }
+
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+/// Builds the HV layout for prime `p`.
+///
+/// Chain ordering contract (relied upon by `recovery`): chains `0..n` are
+/// the horizontal chains of rows `0..n`, chains `n..2n` the vertical chains
+/// anchored at rows `0..n`, where `n = p − 1`.
+fn build_layout(p: Prime) -> Layout {
+    let n = p.get() - 1; // rows = cols = p − 1
+    let mut kinds = vec![ElementKind::Data; n * n];
+
+    // 1-based helpers straight from the paper.
+    let h_col_1b = |i: i64| mul_mod(2, i, p); // ⟨2i⟩
+    let v_col_1b = |i: i64| mul_mod(4, i, p); // ⟨4i⟩
+
+    for i in 1..=n as i64 {
+        let hc = h_col_1b(i);
+        let vc = v_col_1b(i);
+        debug_assert_ne!(hc, vc, "⟨2i⟩ and ⟨4i⟩ collide");
+        kinds[Cell::new(i as usize - 1, hc - 1).index(n)] =
+            ElementKind::Parity(ParityClass::Horizontal);
+        kinds[Cell::new(i as usize - 1, vc - 1).index(n)] =
+            ElementKind::Parity(ParityClass::Vertical);
+    }
+
+    let mut chains = Vec::with_capacity(2 * n);
+
+    // Horizontal chains, Eq. (1): row i, all columns except ⟨2i⟩ (the parity
+    // itself) and ⟨4i⟩ (the row's vertical parity).
+    for i in 1..=n as i64 {
+        let hc = h_col_1b(i);
+        let vc = v_col_1b(i);
+        let members: Vec<Cell> = (1..=n)
+            .filter(|&j| j != hc && j != vc)
+            .map(|j| Cell::new(i as usize - 1, j - 1))
+            .collect();
+        chains.push(Chain {
+            class: ParityClass::Horizontal,
+            parity: Cell::new(i as usize - 1, hc - 1),
+            members,
+        });
+    }
+
+    // Vertical chains, Eq. (2): parity E_{i,⟨4i⟩}; members are the data
+    // elements E_{k,j} with ⟨2k + 4i⟩ = j, skipping j = ⟨4i⟩ (the parity's
+    // own column) and j = ⟨8i⟩ (row ⟨2i⟩'s vertical parity position).
+    for i in 1..=n as i64 {
+        let vc = v_col_1b(i);
+        let skip = mul_mod(8, i, p); // ⟨8i⟩
+        let members: Vec<Cell> = (1..=n)
+            .filter(|&j| j != vc && j != skip)
+            .map(|j| {
+                // k := ⟨(j − 4i)/2⟩, the paper's case-split halving.
+                let k = half_mod(j as i64 - 4 * i, p);
+                debug_assert!((1..=n).contains(&k), "vertical member row out of range");
+                Cell::new(k - 1, j - 1)
+            })
+            .collect();
+        chains.push(Chain {
+            class: ParityClass::Vertical,
+            parity: Cell::new(i as usize - 1, vc - 1),
+            members,
+        });
+    }
+
+    Layout::new(n, n, kinds, chains).expect("HV construction yields a valid layout")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raid_core::invariants;
+    use raid_core::plan::update::update_complexity;
+    use raid_core::Stripe;
+
+    fn code(p: usize) -> HvCode {
+        HvCode::new(p).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(matches!(HvCode::new(9), Err(HvCodeError::NotPrime(_))));
+        assert!(matches!(HvCode::new(3), Err(HvCodeError::TooSmall { p: 3 })));
+        assert!(HvCode::new(5).is_ok());
+        let err = HvCode::new(3).unwrap_err();
+        assert!(err.to_string().contains("p >= 5"));
+    }
+
+    #[test]
+    fn figure_four_layout_p7() {
+        // Fig. 4 of the paper (p = 7): row i's horizontal parity at ⟨2i⟩,
+        // vertical at ⟨4i⟩ (1-based).
+        let c = code(7);
+        let expected_h = [2, 4, 6, 1, 3, 5]; // ⟨2i⟩ for i = 1..6
+        let expected_v = [4, 1, 5, 2, 6, 3]; // ⟨4i⟩ for i = 1..6
+        for row in 0..6 {
+            assert_eq!(c.horizontal_parity_col(row) + 1, expected_h[row], "row {row}");
+            assert_eq!(c.vertical_parity_col(row) + 1, expected_v[row], "row {row}");
+        }
+    }
+
+    #[test]
+    fn paper_example_horizontal_chain() {
+        // E_{1,2} := E_{1,1} ⊕ E_{1,3} ⊕ E_{1,5} ⊕ E_{1,6} (p = 7).
+        let c = code(7);
+        let chain = c.layout().chain(c.horizontal_chain_id(0));
+        assert_eq!(chain.parity, Cell::new(0, 1));
+        let members: Vec<(usize, usize)> =
+            chain.members.iter().map(|m| (m.row + 1, m.col + 1)).collect();
+        assert_eq!(members, vec![(1, 1), (1, 3), (1, 5), (1, 6)]);
+    }
+
+    #[test]
+    fn paper_example_vertical_chain() {
+        // E_{1,4} := E_{6,2} ⊕ E_{3,3} ⊕ E_{4,5} ⊕ E_{1,6} (p = 7).
+        let c = code(7);
+        let chain = c.layout().chain(c.vertical_chain_id(0));
+        assert_eq!(chain.parity, Cell::new(0, 3));
+        let mut members: Vec<(usize, usize)> =
+            chain.members.iter().map(|m| (m.row + 1, m.col + 1)).collect();
+        members.sort_by_key(|&(_, j)| j);
+        assert_eq!(members, vec![(6, 2), (3, 3), (4, 5), (1, 6)]);
+    }
+
+    #[test]
+    fn structural_invariants_across_primes() {
+        for p in [5usize, 7, 11, 13, 17, 19, 23] {
+            let c = code(p);
+            let l = c.layout();
+            let n = p - 1;
+            assert_eq!(l.rows(), n);
+            assert_eq!(l.cols(), n);
+            // Exactly one horizontal + one vertical parity per row AND per
+            // column; p − 3 data cells in each.
+            assert_eq!(invariants::parities_per_column(l), vec![2; n], "p={p}");
+            for row in 0..n {
+                let kinds: Vec<_> = (0..n).map(|col| l.kind(Cell::new(row, col))).collect();
+                let h = kinds
+                    .iter()
+                    .filter(|k| matches!(k, ElementKind::Parity(ParityClass::Horizontal)))
+                    .count();
+                let v = kinds
+                    .iter()
+                    .filter(|k| matches!(k, ElementKind::Parity(ParityClass::Vertical)))
+                    .count();
+                assert_eq!((h, v), (1, 1), "p={p} row={row}");
+            }
+            // All chains have length p − 2 (Table III).
+            assert_eq!(l.chain_length_histogram(), vec![(p - 2, 2 * n)], "p={p}");
+            // Every data element is in exactly one H and one V chain.
+            assert_eq!(invariants::data_membership_range(l), (2, 2), "p={p}");
+            // Chains never revisit a column.
+            assert!(invariants::chains_hit_columns_once(l), "p={p}");
+            // Optimal update complexity: exactly 2 parity updates per write.
+            assert!((update_complexity(l) - 2.0).abs() < 1e-12, "p={p}");
+            // Storage efficiency (n−2)/n.
+            assert!(
+                (c.storage_efficiency() - (n as f64 - 2.0) / n as f64).abs() < 1e-12,
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn mds_property_exhaustive() {
+        for p in [5usize, 7, 11, 13] {
+            let c = code(p);
+            assert_eq!(
+                invariants::find_undecodable_pair(c.layout()),
+                None,
+                "HV p={p} must tolerate any two disk failures"
+            );
+            assert!(invariants::all_single_failures_decodable(c.layout()));
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_every_pair() {
+        for p in [5usize, 7, 11] {
+            let c = code(p);
+            let mut s = Stripe::for_layout(c.layout(), 16);
+            s.fill_data_seeded(c.layout(), p as u64);
+            c.encode(&mut s);
+            assert!(c.is_consistent(&s));
+            let pristine = s.clone();
+            let n = p - 1;
+            for f1 in 0..n {
+                for f2 in (f1 + 1)..n {
+                    let mut broken = pristine.clone();
+                    broken.erase_col(f1);
+                    broken.erase_col(f2);
+                    let mut lost = c.layout().cells_in_col(f1);
+                    lost.extend(c.layout().cells_in_col(f2));
+                    c.decode(&mut broken, &lost).unwrap();
+                    assert_eq!(broken, pristine, "p={p} cols ({f1},{f2})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_row_adjacency_shares_vertical_parity() {
+        // Section IV-5: E_{i,p−1} and E_{i+1,1} (1-based), when both are
+        // data, belong to the same vertical chain.
+        for p in [7usize, 11, 13, 17] {
+            let c = code(p);
+            let l = c.layout();
+            let n = p - 1;
+            let mut pairs = 0;
+            for i in 1..n {
+                // 1-based rows i, i+1
+                let last = Cell::new(i - 1, n - 1); // E_{i, p−1}
+                let first = Cell::new(i, 0); // E_{i+1, 1}
+                if l.is_data(last) && l.is_data(first) {
+                    assert_eq!(
+                        c.vertical_chain_of(last),
+                        c.vertical_chain_of(first),
+                        "p={p} rows {i},{}",
+                        i + 1
+                    );
+                    pairs += 1;
+                }
+            }
+            // The paper counts at least p − 6 such pairs.
+            assert!(pairs >= p - 6, "p={p}: only {pairs} shared pairs");
+        }
+    }
+
+    #[test]
+    fn two_element_writes_touch_at_most_three_parities() {
+        // Section IV-5: a write to two continuous data elements renews one
+        // shared horizontal parity + two vertical parities (same row), or
+        // two horizontal parities + one shared vertical parity (row
+        // boundary, the designed case) — never more than 2·2 − 1 = 3, the
+        // lowest-density optimum proved in the H-Code paper. Non-sharing
+        // boundary pairs (at most 4 of the p − 2) may hit 4.
+        for p in [7usize, 11, 13] {
+            let c = code(p);
+            let l = c.layout();
+            let data = l.num_data_cells();
+            let mut sharing_pairs = 0;
+            for start in 0..data - 1 {
+                let plan = raid_core::plan::write::plan_partial_write(l, start, 2);
+                assert!(
+                    plan.parity_writes.len() <= 4,
+                    "p={p} start={start}: {} parity writes",
+                    plan.parity_writes.len()
+                );
+                if plan.parity_writes.len() == 3 {
+                    sharing_pairs += 1;
+                }
+            }
+            // The paper counts at least (p−6) sharing pairs among the row
+            // crossings, plus every within-row pair shares its horizontal
+            // parity.
+            assert!(
+                sharing_pairs >= data - 1 - 4,
+                "p={p}: only {sharing_pairs} of {} pairs share a parity",
+                data - 1
+            );
+        }
+    }
+
+    #[test]
+    fn eq5_and_eq6_repair_sources() {
+        let c = code(7);
+        let l = c.layout();
+        let mut s = Stripe::for_layout(l, 8);
+        s.fill_data_seeded(l, 99);
+        c.encode(&mut s);
+        for &cell in l.data_cells() {
+            let h = s.xor_of(c.repair_sources_horizontal(cell));
+            assert_eq!(h, s.element(cell), "Eq.5 fails at {cell}");
+            let v = s.xor_of(c.repair_sources_vertical(cell));
+            assert_eq!(v, s.element(cell), "Eq.6 fails at {cell}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in its row's horizontal chain")]
+    fn horizontal_repair_of_vertical_parity_panics() {
+        let c = code(7);
+        // Row 0's vertical parity is at col 3 (1-based 4).
+        c.repair_sources_horizontal(Cell::new(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "horizontal parity")]
+    fn vertical_repair_of_horizontal_parity_panics() {
+        let c = code(7);
+        // Row 0's horizontal parity is at col 1 (1-based 2).
+        c.repair_sources_vertical(Cell::new(0, 1));
+    }
+
+    #[test]
+    fn vertical_chain_membership_is_inverse_of_equation() {
+        for p in [5usize, 7, 11, 13] {
+            let c = code(p);
+            let l = c.layout();
+            for &cell in l.data_cells() {
+                let id = c.vertical_chain_of(cell);
+                assert!(
+                    l.chain(id).members.contains(&cell),
+                    "p={p}: {cell} not in claimed vertical chain"
+                );
+            }
+        }
+    }
+}

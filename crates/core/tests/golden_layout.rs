@@ -1,0 +1,32 @@
+//! Golden snapshot of the HV layout — this is Fig. 4 of the paper
+//! rendered in ASCII (`.` data, `H` horizontal parity, `V` vertical
+//! parity): row `i` (1-based) has `H` at column `⟨2i⟩_7` and `V` at
+//! `⟨4i⟩_7`.
+
+use hv_code::HvCode;
+use raid_core::ArrayCode;
+
+#[test]
+fn figure_four_p7() {
+    assert_eq!(
+        HvCode::new(7).unwrap().layout().render_ascii(),
+        ".H.V..\n\
+         V..H..\n\
+         ....VH\n\
+         HV....\n\
+         ..H..V\n\
+         ..V.H.\n"
+    );
+}
+
+#[test]
+fn p5_layout() {
+    // p = 5: rows 1..4, H at ⟨2i⟩_5, V at ⟨4i⟩_5.
+    assert_eq!(
+        HvCode::new(5).unwrap().layout().render_ascii(),
+        ".H.V\n\
+         ..VH\n\
+         HV..\n\
+         V.H.\n"
+    );
+}

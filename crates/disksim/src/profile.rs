@@ -1,0 +1,61 @@
+//! Disk service-time models.
+
+/// Service-time model of one disk.
+///
+/// An element request (read or write of one full element) costs
+/// `seek_latency_ms + element_mb / bandwidth`. With the paper's 16 MB
+/// elements the transfer term dominates, as on the real Savvio array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskProfile {
+    /// Average positioning time per request, in milliseconds.
+    pub seek_latency_ms: f64,
+    /// Sustained transfer rate, MB/s.
+    pub bandwidth_mb_s: f64,
+    /// Element size, MB (the paper uses 16 MB).
+    pub element_mb: f64,
+}
+
+impl DiskProfile {
+    /// A Savvio-10K-like profile with the paper's 16 MB elements: ~5 ms
+    /// positioning, 160 MB/s sustained.
+    pub fn savvio_10k() -> Self {
+        DiskProfile { seek_latency_ms: 5.0, bandwidth_mb_s: 160.0, element_mb: 16.0 }
+    }
+
+    /// Cost of serving one element request, in milliseconds.
+    ///
+    /// ```
+    /// use disk_sim::DiskProfile;
+    /// let p = DiskProfile::savvio_10k();
+    /// assert!((p.element_service_ms() - 105.0).abs() < 1e-9); // 5 + 16/160*1000
+    /// ```
+    pub fn element_service_ms(&self) -> f64 {
+        self.seek_latency_ms + self.element_mb / self.bandwidth_mb_s * 1000.0
+    }
+}
+
+impl Default for DiskProfile {
+    fn default() -> Self {
+        DiskProfile::savvio_10k()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_savvio() {
+        assert_eq!(DiskProfile::default(), DiskProfile::savvio_10k());
+    }
+
+    #[test]
+    fn service_time_scales_with_element_size() {
+        let mut p = DiskProfile::savvio_10k();
+        let t16 = p.element_service_ms();
+        p.element_mb = 32.0;
+        let t32 = p.element_service_ms();
+        assert!(t32 > t16);
+        assert!((t32 - t16 - 100.0).abs() < 1e-9); // extra 16 MB at 160 MB/s
+    }
+}

@@ -1,0 +1,70 @@
+//! Summary statistics over simulated batch latencies.
+
+/// Summary of a latency sample set (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (50th percentile).
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// Maximum observed.
+    pub max_ms: f64,
+}
+
+/// Summarizes a set of latencies.
+///
+/// Percentiles use the nearest-rank method on the sorted samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn summarize(samples: &[f64]) -> LatencySummary {
+    assert!(!samples.is_empty(), "cannot summarize zero samples");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = |q: f64| -> f64 {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[idx - 1]
+    };
+    LatencySummary {
+        count: sorted.len(),
+        mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50_ms: rank(0.50),
+        p95_ms: rank(0.95),
+        max_ms: *sorted.last().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_distribution() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = summarize(&samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ms - 50.5).abs() < 1e-12);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.max_ms, 100.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = summarize(&[42.0]);
+        assert_eq!(s.p50_ms, 42.0);
+        assert_eq!(s.p95_ms, 42.0);
+        assert_eq!(s.max_ms, 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_rejected() {
+        summarize(&[]);
+    }
+}

@@ -1,0 +1,196 @@
+//! A small fixed-capacity bitset used by the recovery planners.
+//!
+//! Planner inner loops union sets of cells tens of millions of times while
+//! searching hybrid recovery plans (Fig. 9a), so `HashSet` is far too slow;
+//! a flat `u64` word array is exactly right.
+
+/// Fixed-capacity bitset over `0..capacity`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// The capacity this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `v`. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= capacity`.
+    pub fn insert(&mut self, v: usize) -> bool {
+        assert!(v < self.capacity, "bit {v} out of capacity {}", self.capacity);
+        let (w, b) = (v / 64, v % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    /// Removes `v`. Returns `true` if it was present.
+    pub fn remove(&mut self, v: usize) -> bool {
+        assert!(v < self.capacity, "bit {v} out of capacity {}", self.capacity);
+        let (w, b) = (v / 64, v % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: usize) -> bool {
+        if v >= self.capacity {
+            return false;
+        }
+        self.words[v / 64] & (1 << (v % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Size of `self ∪ other` without materializing it.
+    pub fn union_len(&self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of elements in `other` that are **not** already in `self` —
+    /// the planner's "extra reads" metric.
+    pub fn missing_from(&self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (b & !a).count_ones() as usize)
+            .sum()
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects values into a set sized to the maximum value + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let vals: Vec<usize> = iter.into_iter().collect();
+        let cap = vals.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for v in vals {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_operations() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for v in [1, 5, 99] {
+            a.insert(v);
+        }
+        for v in [5, 7] {
+            b.insert(v);
+        }
+        assert_eq!(a.union_len(&b), 4);
+        assert_eq!(a.missing_from(&b), 1); // only 7 is new
+        a.union_with(&b);
+        assert_eq!(a.len(), 4);
+        assert!(a.contains(7));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: BitSet = [3usize, 64, 65, 127, 2].into_iter().collect();
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![2, 3, 64, 65, 127]);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut s = BitSet::new(10);
+        assert!(s.is_empty());
+        s.insert(3);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_beyond_capacity_panics() {
+        BitSet::new(8).insert(8);
+    }
+
+    #[test]
+    fn contains_beyond_capacity_is_false() {
+        let s = BitSet::new(8);
+        assert!(!s.contains(1000));
+    }
+}

@@ -1,0 +1,130 @@
+//! The [`ArrayCode`] trait tying a construction to its layout.
+
+use raid_math::Prime;
+
+use crate::decoder::{self, DecodePlan, NotDecodableError};
+use crate::geometry::Cell;
+use crate::layout::Layout;
+use crate::stripe::Stripe;
+
+/// A RAID-6 array code: a named, prime-parameterized stripe layout.
+///
+/// Implementations construct their [`Layout`] once (it fully encodes the
+/// combinatorics) and inherit encoding, decoding and all planners from the
+/// generic engine. A code may override [`ArrayCode::decode`] with a faster
+/// specialized path — HV Code does, for its Algorithm-1 double-disk repair —
+/// but the override must produce byte-identical stripes (tests enforce it).
+pub trait ArrayCode: Send + Sync + std::fmt::Debug {
+    /// Human-readable name as used in the paper's figures ("HV Code",
+    /// "RDP", …).
+    fn name(&self) -> &str;
+
+    /// The prime parameter `p`.
+    fn prime(&self) -> Prime;
+
+    /// The stripe layout.
+    fn layout(&self) -> &Layout;
+
+    /// Rows per disk per stripe.
+    fn rows(&self) -> usize {
+        self.layout().rows()
+    }
+
+    /// Number of disks.
+    fn disks(&self) -> usize {
+        self.layout().cols()
+    }
+
+    /// Recomputes every parity in the stripe.
+    fn encode(&self, stripe: &mut Stripe) {
+        stripe.encode(self.layout());
+    }
+
+    /// True if every parity chain is consistent.
+    fn is_consistent(&self, stripe: &Stripe) -> bool {
+        stripe.verify(self.layout()).is_none()
+    }
+
+    /// Reconstructs the given erased cells in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotDecodableError`] if the pattern exceeds two columns'
+    /// worth of correlated loss (or is otherwise undecodable).
+    fn decode(&self, stripe: &mut Stripe, lost: &[Cell]) -> Result<DecodePlan, NotDecodableError> {
+        decoder::decode(stripe, self.layout(), lost)
+    }
+
+    /// Storage efficiency `data cells / total cells`; `(n−2)/n` for an MDS
+    /// RAID-6 code over `n` disks.
+    fn storage_efficiency(&self) -> f64 {
+        let l = self.layout();
+        l.num_data_cells() as f64 / l.num_cells() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Chain, ElementKind, ParityClass};
+
+    #[derive(Debug)]
+    struct Mirror {
+        layout: Layout,
+        p: Prime,
+    }
+
+    impl Mirror {
+        fn new() -> Self {
+            let c = Cell::new;
+            let kinds = vec![
+                ElementKind::Data,
+                ElementKind::Parity(ParityClass::Horizontal),
+                ElementKind::Parity(ParityClass::Vertical),
+            ];
+            let chains = vec![
+                Chain { class: ParityClass::Horizontal, parity: c(0, 1), members: vec![c(0, 0)] },
+                Chain { class: ParityClass::Vertical, parity: c(0, 2), members: vec![c(0, 0)] },
+            ];
+            Mirror { layout: Layout::new(1, 3, kinds, chains).unwrap(), p: Prime::new(3).unwrap() }
+        }
+    }
+
+    impl ArrayCode for Mirror {
+        fn name(&self) -> &str {
+            "3-way mirror"
+        }
+        fn prime(&self) -> Prime {
+            self.p
+        }
+        fn layout(&self) -> &Layout {
+            &self.layout
+        }
+    }
+
+    #[test]
+    fn defaults_flow_from_layout() {
+        let m = Mirror::new();
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.disks(), 3);
+        assert!((m.storage_efficiency() - 1.0 / 3.0).abs() < 1e-12);
+
+        let mut s = Stripe::for_layout(m.layout(), 8);
+        s.fill_data_seeded(m.layout(), 11);
+        m.encode(&mut s);
+        assert!(m.is_consistent(&s));
+        let pristine = s.clone();
+
+        // Any two losses recoverable in a 3-way mirror.
+        for a in 0..3 {
+            for b in (a + 1)..3 {
+                let lost = vec![Cell::new(0, a), Cell::new(0, b)];
+                let mut t = pristine.clone();
+                t.erase(lost[0]);
+                t.erase(lost[1]);
+                m.decode(&mut t, &lost).unwrap();
+                assert_eq!(t, pristine);
+            }
+        }
+    }
+}

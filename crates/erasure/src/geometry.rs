@@ -1,0 +1,81 @@
+//! Cell coordinates within a stripe.
+//!
+//! The engine uses **0-based** rows and columns throughout its public API.
+//! Codes whose papers are written 1-based (HV Code, HDP) translate at their
+//! construction boundary and say so in their docs.
+
+use std::fmt;
+
+/// A cell position within a stripe: `row` is the offset within a disk,
+/// `col` is the disk index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cell {
+    /// Row index (0-based).
+    pub row: usize,
+    /// Column / disk index (0-based).
+    pub col: usize,
+}
+
+impl Cell {
+    /// Creates a cell at `(row, col)`.
+    pub fn new(row: usize, col: usize) -> Self {
+        Cell { row, col }
+    }
+
+    /// Flattens to a linear index in a row-major `rows × cols` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the cell lies outside the grid.
+    #[inline]
+    pub fn index(self, cols: usize) -> usize {
+        debug_assert!(self.col < cols, "column {} out of {cols}", self.col);
+        self.row * cols + self.col
+    }
+
+    /// Inverse of [`Cell::index`].
+    #[inline]
+    pub fn from_index(idx: usize, cols: usize) -> Self {
+        Cell { row: idx / cols, col: idx % cols }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E[{},{}]", self.row, self.col)
+    }
+}
+
+impl From<(usize, usize)> for Cell {
+    fn from((row, col): (usize, usize)) -> Self {
+        Cell { row, col }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        let cols = 7;
+        for row in 0..5 {
+            for col in 0..cols {
+                let c = Cell::new(row, col);
+                assert_eq!(Cell::from_index(c.index(cols), cols), c);
+            }
+        }
+    }
+
+    #[test]
+    fn display_and_from_tuple() {
+        let c: Cell = (2, 3).into();
+        assert_eq!(c.to_string(), "E[2,3]");
+    }
+
+    #[test]
+    fn ordering_is_row_major() {
+        assert!(Cell::new(0, 6) < Cell::new(1, 0));
+        assert!(Cell::new(1, 2) < Cell::new(1, 3));
+    }
+}

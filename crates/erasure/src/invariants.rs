@@ -1,0 +1,200 @@
+//! Structural checkers shared by every code's test suite and by the
+//! Table III report generator.
+
+use crate::decoder::is_decodable;
+use crate::geometry::Cell;
+use crate::layout::Layout;
+
+/// Verifies the MDS property by exhaustively erasing every pair of columns
+/// and checking decodability. Returns the first failing pair, if any.
+///
+/// This is the ground-truth check each code crate runs for several primes;
+/// together with byte-exact decode round-trips it proves a construction
+/// is a correct RAID-6 code.
+pub fn find_undecodable_pair(layout: &Layout) -> Option<(usize, usize)> {
+    let n = layout.cols();
+    for f1 in 0..n {
+        for f2 in (f1 + 1)..n {
+            let mut lost = layout.cells_in_col(f1);
+            lost.extend(layout.cells_in_col(f2));
+            if !is_decodable(layout, &lost) {
+                return Some((f1, f2));
+            }
+        }
+    }
+    None
+}
+
+/// True if every single-column erasure is decodable (RAID-5-level check).
+pub fn all_single_failures_decodable(layout: &Layout) -> bool {
+    (0..layout.cols()).all(|f| {
+        let lost = layout.cells_in_col(f);
+        is_decodable(layout, &lost)
+    })
+}
+
+/// Number of parity cells in each column — `[2, 2, …]` for the paper's
+/// "perfect load balancing" codes (HV, X-Code, HDP), and concentrated on
+/// dedicated disks for RDP/H-Code.
+pub fn parities_per_column(layout: &Layout) -> Vec<usize> {
+    (0..layout.cols()).map(|c| layout.parities_in_col(c).len()).collect()
+}
+
+/// True if no chain's equation touches the same column twice. This is the
+/// property that lets a chain repair exactly one element of a failed disk,
+/// which all five evaluated codes satisfy.
+pub fn chains_hit_columns_once(layout: &Layout) -> bool {
+    layout.chains().iter().all(|ch| {
+        let mut seen = vec![false; layout.cols()];
+        ch.cells().all(|c| {
+            if seen[c.col] {
+                false
+            } else {
+                seen[c.col] = true;
+                true
+            }
+        })
+    })
+}
+
+/// Counts how many chains each data cell belongs to; `(min, max)`.
+/// `(2, 2)` means optimal update complexity is possible.
+pub fn data_membership_range(layout: &Layout) -> (usize, usize) {
+    let counts: Vec<usize> = layout
+        .data_cells()
+        .iter()
+        .map(|&c| layout.chains_containing(c).len())
+        .collect();
+    (
+        counts.iter().copied().min().unwrap_or(0),
+        counts.iter().copied().max().unwrap_or(0),
+    )
+}
+
+/// The cells of `col` that are data, in row order — used by tests that walk
+/// the paper's figures.
+pub fn data_cells_in_col(layout: &Layout, col: usize) -> Vec<Cell> {
+    layout
+        .cells_in_col(col)
+        .into_iter()
+        .filter(|&c| c.col == col && c.row < layout.rows() && layout.is_data(c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Chain, ElementKind, ParityClass};
+
+    /// X-Code with p = 3: data row 0, diagonal parity row 1, anti-diagonal
+    /// parity row 2 — a genuine 2-column-erasure-tolerant layout.
+    fn xcode3() -> Layout {
+        let c = Cell::new;
+        let mut kinds = vec![ElementKind::Data; 3];
+        kinds.extend(vec![ElementKind::Parity(ParityClass::Diagonal); 3]);
+        kinds.extend(vec![ElementKind::Parity(ParityClass::AntiDiagonal); 3]);
+        let mut chains = Vec::new();
+        for i in 0..3usize {
+            chains.push(Chain {
+                class: ParityClass::Diagonal,
+                parity: c(1, i),
+                members: vec![c(0, (i + 2) % 3)],
+            });
+            chains.push(Chain {
+                class: ParityClass::AntiDiagonal,
+                parity: c(2, i),
+                members: vec![c(0, (i + 1) % 3)],
+            });
+        }
+        Layout::new(3, 3, kinds, chains).unwrap()
+    }
+
+    /// d0 d1 | p q with p = d0^d1, q = d0: a flat layout used for the
+    /// structural (non-MDS) report tests.
+    fn toy() -> Layout {
+        let c = Cell::new;
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+            ElementKind::Parity(ParityClass::Diagonal),
+        ];
+        let chains = vec![
+            Chain { class: ParityClass::Horizontal, parity: c(0, 2), members: vec![c(0, 0), c(0, 1)] },
+            Chain { class: ParityClass::Diagonal, parity: c(0, 3), members: vec![c(0, 0)] },
+        ];
+        Layout::new(1, 4, kinds, chains).unwrap()
+    }
+
+    #[test]
+    fn xcode3_is_mds_over_its_columns() {
+        assert_eq!(find_undecodable_pair(&xcode3()), None);
+        assert!(all_single_failures_decodable(&xcode3()));
+        assert_eq!(parities_per_column(&xcode3()), vec![2, 2, 2]);
+        assert_eq!(data_membership_range(&xcode3()), (2, 2));
+    }
+
+    #[test]
+    fn toy_flat_layout_is_not_mds() {
+        // d1 is covered only by the horizontal chain, so losing d1 together
+        // with the horizontal parity is undecodable.
+        assert_eq!(find_undecodable_pair(&toy()), Some((1, 2)));
+        assert!(all_single_failures_decodable(&toy()));
+    }
+
+    #[test]
+    fn structural_reports() {
+        let l = toy();
+        assert_eq!(parities_per_column(&l), vec![0, 0, 1, 1]);
+        assert!(chains_hit_columns_once(&l));
+        assert_eq!(data_membership_range(&l), (1, 2));
+        assert_eq!(data_cells_in_col(&l, 0).len(), 1);
+        assert_eq!(data_cells_in_col(&l, 2).len(), 0);
+    }
+
+    #[test]
+    fn detects_non_mds() {
+        // d0 d1 | p only: losing d0,d1 is undecodable.
+        let c = Cell::new;
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+        ];
+        let chains = vec![Chain {
+            class: ParityClass::Horizontal,
+            parity: c(0, 2),
+            members: vec![c(0, 0), c(0, 1)],
+        }];
+        let l = Layout::new(1, 3, kinds, chains).unwrap();
+        assert_eq!(find_undecodable_pair(&l), Some((0, 1)));
+    }
+
+    #[test]
+    fn detects_column_revisits() {
+        let c = Cell::new;
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+            ElementKind::Data,
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+        ];
+        let chains = vec![
+            Chain {
+                class: ParityClass::Horizontal,
+                parity: c(0, 2),
+                // revisits column 0
+                members: vec![c(0, 0), c(1, 0), c(0, 1)],
+            },
+            Chain {
+                class: ParityClass::Horizontal,
+                parity: c(1, 2),
+                members: vec![c(1, 1)],
+            },
+        ];
+        let l = Layout::new(2, 3, kinds, chains).unwrap();
+        assert!(!chains_hit_columns_once(&l));
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-disk I/O accounting and the load-balancing rate λ of Eq. (7).
+
+use std::fmt;
+
+/// Read/write request counts per disk for one experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoTally {
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+}
+
+impl IoTally {
+    /// A zeroed tally for `disks` disks.
+    pub fn new(disks: usize) -> Self {
+        IoTally { reads: vec![0; disks], writes: vec![0; disks] }
+    }
+
+    /// Number of disks tracked.
+    pub fn disks(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Records `n` element reads on `disk`.
+    pub fn add_reads(&mut self, disk: usize, n: u64) {
+        self.reads[disk] += n;
+    }
+
+    /// Records `n` element writes on `disk`.
+    pub fn add_writes(&mut self, disk: usize, n: u64) {
+        self.writes[disk] += n;
+    }
+
+    /// Per-disk read counts.
+    pub fn reads(&self) -> &[u64] {
+        &self.reads
+    }
+
+    /// Per-disk write counts.
+    pub fn writes(&self) -> &[u64] {
+        &self.writes
+    }
+
+    /// Total reads across all disks.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Total writes across all disks.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+
+    /// Total requests (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.total_reads() + self.total_writes()
+    }
+
+    /// Merges another tally into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if disk counts differ.
+    pub fn merge(&mut self, other: &IoTally) {
+        assert_eq!(self.disks(), other.disks(), "tally disk count mismatch");
+        for (a, b) in self.reads.iter_mut().zip(&other.reads) {
+            *a += b;
+        }
+        for (a, b) in self.writes.iter_mut().zip(&other.writes) {
+            *a += b;
+        }
+    }
+
+    /// The paper's load balancing rate λ (Eq. 7) over **write** requests:
+    /// `λ = max_i R_i / min_i R_i`.
+    ///
+    /// Returns `f64::INFINITY` when some disk received zero writes while
+    /// another received some — the most unbalanced outcome — and 1.0 when
+    /// no disk received any write.
+    pub fn write_balance_rate(&self) -> f64 {
+        balance(&self.writes)
+    }
+
+    /// λ computed over total (read + write) requests.
+    pub fn total_balance_rate(&self) -> f64 {
+        let totals: Vec<u64> =
+            self.reads.iter().zip(&self.writes).map(|(r, w)| r + w).collect();
+        balance(&totals)
+    }
+}
+
+fn balance(counts: &[u64]) -> f64 {
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let min = counts.iter().copied().min().unwrap_or(0);
+    if max == 0 {
+        1.0
+    } else if min == 0 {
+        f64::INFINITY
+    } else {
+        max as f64 / min as f64
+    }
+}
+
+impl fmt::Display for IoTally {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reads={:?} writes={:?} λw={:.2}", self.reads, self.writes, self.write_balance_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = IoTally::new(3);
+        a.add_reads(0, 5);
+        a.add_writes(2, 7);
+        let mut b = IoTally::new(3);
+        b.add_writes(0, 1);
+        b.add_writes(1, 2);
+        b.add_writes(2, 3);
+        a.merge(&b);
+        assert_eq!(a.total_reads(), 5);
+        assert_eq!(a.total_writes(), 13);
+        assert_eq!(a.total(), 18);
+        assert_eq!(a.writes(), &[1, 2, 10]);
+    }
+
+    #[test]
+    fn lambda_matches_equation_seven() {
+        let mut t = IoTally::new(4);
+        for (d, n) in [(0, 10u64), (1, 5), (2, 20), (3, 10)] {
+            t.add_writes(d, n);
+        }
+        assert!((t.write_balance_rate() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_edge_cases() {
+        let t = IoTally::new(2);
+        assert_eq!(t.write_balance_rate(), 1.0);
+        let mut t2 = IoTally::new(2);
+        t2.add_writes(0, 3);
+        assert!(t2.write_balance_rate().is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn merge_requires_same_shape() {
+        let mut a = IoTally::new(2);
+        a.merge(&IoTally::new(3));
+    }
+
+    #[test]
+    fn total_balance_combines_reads_and_writes() {
+        let mut t = IoTally::new(2);
+        t.add_reads(0, 4);
+        t.add_writes(1, 2);
+        assert!((t.total_balance_rate() - 2.0).abs() < 1e-12);
+    }
+}

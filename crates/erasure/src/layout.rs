@@ -1,0 +1,515 @@
+//! Stripe layouts: cell kinds and parity chains.
+//!
+//! A [`Layout`] is the complete combinatorial description of an array code's
+//! stripe. Each parity cell is defined as the XOR of its chain's *members*;
+//! members are usually data cells, but some codes chain parities into
+//! parities (RDP's diagonal parity covers the row-parity column; HDP's
+//! horizontal-diagonal parity covers the anti-diagonal parity in its row),
+//! and the engine handles that uniformly.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::geometry::Cell;
+
+/// The family a parity chain belongs to.
+///
+/// The engine never interprets the class; it exists so planners and reports
+/// can speak the paper's language ("recover via the horizontal chain").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ParityClass {
+    /// Row parity (RDP, EVENODD, H-Code) — the paper's "horizontal parity".
+    Horizontal,
+    /// HV Code / P-Code vertical parity.
+    Vertical,
+    /// Diagonal parity (RDP, EVENODD, X-Code).
+    Diagonal,
+    /// Anti-diagonal parity (X-Code, H-Code, HDP).
+    AntiDiagonal,
+    /// HDP's combined horizontal-diagonal parity.
+    HorizontalDiagonal,
+}
+
+impl fmt::Display for ParityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParityClass::Horizontal => "horizontal",
+            ParityClass::Vertical => "vertical",
+            ParityClass::Diagonal => "diagonal",
+            ParityClass::AntiDiagonal => "anti-diagonal",
+            ParityClass::HorizontalDiagonal => "horizontal-diagonal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a cell stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElementKind {
+    /// Original user data.
+    Data,
+    /// Redundancy of the given class.
+    Parity(ParityClass),
+}
+
+impl ElementKind {
+    /// True for data cells.
+    pub fn is_data(self) -> bool {
+        matches!(self, ElementKind::Data)
+    }
+}
+
+/// Identifier of a chain within its [`Layout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChainId(pub usize);
+
+/// A parity chain: `parity = XOR(members)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// Chain family.
+    pub class: ParityClass,
+    /// The cell storing the XOR of `members`.
+    pub parity: Cell,
+    /// The cells XOR-ed together to form `parity`.
+    pub members: Vec<Cell>,
+}
+
+impl Chain {
+    /// Number of elements in the chain including the parity cell — the
+    /// paper's "length of a parity chain".
+    pub fn len(&self) -> usize {
+        self.members.len() + 1
+    }
+
+    /// A chain always contains at least its parity element.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over every cell of the chain equation (members + parity).
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        self.members.iter().copied().chain(std::iter::once(self.parity))
+    }
+}
+
+/// Errors produced by [`Layout::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// `kinds` length does not match `rows × cols`.
+    KindsShape {
+        /// Expected number of cells.
+        expected: usize,
+        /// Provided number of kinds.
+        got: usize,
+    },
+    /// A chain references a cell outside the grid.
+    OutOfBounds(Cell),
+    /// A chain's parity cell is not marked `Parity` in `kinds`.
+    ParityKindMismatch(Cell),
+    /// Two chains claim the same parity cell.
+    DuplicateParity(Cell),
+    /// A chain lists the same member twice, or its own parity as a member.
+    MalformedChain(Cell),
+    /// A parity cell owns no chain.
+    OrphanParity(Cell),
+    /// A data cell is not covered by any chain.
+    UncoveredData(Cell),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::KindsShape { expected, got } => {
+                write!(f, "kinds vector has {got} entries, expected {expected}")
+            }
+            LayoutError::OutOfBounds(c) => write!(f, "cell {c} is outside the stripe"),
+            LayoutError::ParityKindMismatch(c) => {
+                write!(f, "chain parity {c} is not marked as a parity cell")
+            }
+            LayoutError::DuplicateParity(c) => write!(f, "cell {c} owns more than one chain"),
+            LayoutError::MalformedChain(c) => write!(f, "chain of {c} has duplicate members"),
+            LayoutError::OrphanParity(c) => write!(f, "parity cell {c} owns no chain"),
+            LayoutError::UncoveredData(c) => write!(f, "data cell {c} is in no chain"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// The full combinatorial description of a stripe.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    rows: usize,
+    cols: usize,
+    kinds: Vec<ElementKind>,
+    chains: Vec<Chain>,
+    /// For each cell (linear index): chains in which it appears as a member.
+    membership: Vec<Vec<ChainId>>,
+    /// For each cell: the chain it is the parity of, if any.
+    owner: Vec<Option<ChainId>>,
+    /// Data cells in row-major order; the paper's "continuous data elements"
+    /// order used for partial stripe writes.
+    data_order: Vec<Cell>,
+    /// Inverse of `data_order` (linear cell index → ordinal).
+    data_ordinal: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// Validates and builds a layout.
+    ///
+    /// # Errors
+    ///
+    /// See [`LayoutError`]; every structural defect a code constructor could
+    /// produce is rejected here, so downstream planners can assume a
+    /// well-formed layout.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        kinds: Vec<ElementKind>,
+        chains: Vec<Chain>,
+    ) -> Result<Self, LayoutError> {
+        let n = rows * cols;
+        if kinds.len() != n {
+            return Err(LayoutError::KindsShape { expected: n, got: kinds.len() });
+        }
+        let in_bounds = |c: Cell| c.row < rows && c.col < cols;
+
+        let mut owner: Vec<Option<ChainId>> = vec![None; n];
+        let mut membership: Vec<Vec<ChainId>> = vec![Vec::new(); n];
+
+        for (i, chain) in chains.iter().enumerate() {
+            let id = ChainId(i);
+            if !in_bounds(chain.parity) {
+                return Err(LayoutError::OutOfBounds(chain.parity));
+            }
+            if !matches!(kinds[chain.parity.index(cols)], ElementKind::Parity(_)) {
+                return Err(LayoutError::ParityKindMismatch(chain.parity));
+            }
+            let slot = &mut owner[chain.parity.index(cols)];
+            if slot.is_some() {
+                return Err(LayoutError::DuplicateParity(chain.parity));
+            }
+            *slot = Some(id);
+
+            let mut seen = HashSet::with_capacity(chain.members.len());
+            for &m in &chain.members {
+                if !in_bounds(m) {
+                    return Err(LayoutError::OutOfBounds(m));
+                }
+                if m == chain.parity || !seen.insert(m) {
+                    return Err(LayoutError::MalformedChain(chain.parity));
+                }
+                membership[m.index(cols)].push(id);
+            }
+        }
+
+        let mut data_order = Vec::new();
+        let mut data_ordinal = vec![None; n];
+        for idx in 0..n {
+            let cell = Cell::from_index(idx, cols);
+            match kinds[idx] {
+                ElementKind::Data => {
+                    if membership[idx].is_empty() {
+                        return Err(LayoutError::UncoveredData(cell));
+                    }
+                    data_ordinal[idx] = Some(data_order.len());
+                    data_order.push(cell);
+                }
+                ElementKind::Parity(_) => {
+                    if owner[idx].is_none() {
+                        return Err(LayoutError::OrphanParity(cell));
+                    }
+                }
+            }
+        }
+
+        Ok(Layout { rows, cols, kinds, chains, membership, owner, data_order, data_ordinal })
+    }
+
+    /// Number of rows (elements per disk per stripe).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (disks).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The kind stored at `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of bounds.
+    pub fn kind(&self, cell: Cell) -> ElementKind {
+        self.kinds[cell.index(self.cols)]
+    }
+
+    /// True if `cell` holds data.
+    pub fn is_data(&self, cell: Cell) -> bool {
+        self.kind(cell).is_data()
+    }
+
+    /// All chains.
+    pub fn chains(&self) -> &[Chain] {
+        &self.chains
+    }
+
+    /// The chain with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale (not from this layout).
+    pub fn chain(&self, id: ChainId) -> &Chain {
+        &self.chains[id.0]
+    }
+
+    /// Chains in which `cell` appears as a member (excludes the chain it may
+    /// own as parity).
+    pub fn chains_containing(&self, cell: Cell) -> &[ChainId] {
+        &self.membership[cell.index(self.cols)]
+    }
+
+    /// The chain `cell` is the parity of, if any.
+    pub fn chain_of_parity(&self, cell: Cell) -> Option<ChainId> {
+        self.owner[cell.index(self.cols)]
+    }
+
+    /// Every chain whose equation involves `cell`, whether as member or
+    /// parity. This is the set of equations invalidated when `cell` is lost.
+    pub fn equations_of(&self, cell: Cell) -> Vec<ChainId> {
+        let mut v = self.membership[cell.index(self.cols)].clone();
+        if let Some(own) = self.owner[cell.index(self.cols)] {
+            v.push(own);
+        }
+        v
+    }
+
+    /// Data cells in row-major order — the "continuous data elements" order
+    /// of the paper's partial-stripe-write analysis.
+    pub fn data_cells(&self) -> &[Cell] {
+        &self.data_order
+    }
+
+    /// Number of data cells.
+    pub fn num_data_cells(&self) -> usize {
+        self.data_order.len()
+    }
+
+    /// The ordinal of a data cell in [`Layout::data_cells`] order, or `None`
+    /// for parity cells.
+    pub fn data_ordinal(&self, cell: Cell) -> Option<usize> {
+        self.data_ordinal[cell.index(self.cols)]
+    }
+
+    /// All cells of a column, top to bottom.
+    pub fn cells_in_col(&self, col: usize) -> Vec<Cell> {
+        (0..self.rows).map(|r| Cell::new(r, col)).collect()
+    }
+
+    /// Parity cells of a column.
+    pub fn parities_in_col(&self, col: usize) -> Vec<Cell> {
+        self.cells_in_col(col)
+            .into_iter()
+            .filter(|&c| !self.is_data(c))
+            .collect()
+    }
+
+    /// Renders the stripe as an ASCII grid, one row per line: `.` for data,
+    /// `H`/`V`/`D`/`A`/`X` for horizontal / vertical / diagonal /
+    /// anti-diagonal / horizontal-diagonal parity. Used by the examples and
+    /// by each code's golden-layout tests, which pin the constructions
+    /// against accidental change.
+    ///
+    /// ```
+    /// # use raid_core::layout::{Layout, Chain, ElementKind, ParityClass};
+    /// # use raid_core::Cell;
+    /// let kinds = vec![
+    ///     ElementKind::Data,
+    ///     ElementKind::Parity(ParityClass::Horizontal),
+    /// ];
+    /// let chains = vec![Chain {
+    ///     class: ParityClass::Horizontal,
+    ///     parity: Cell::new(0, 1),
+    ///     members: vec![Cell::new(0, 0)],
+    /// }];
+    /// let layout = Layout::new(1, 2, kinds, chains)?;
+    /// assert_eq!(layout.render_ascii(), ".H\n");
+    /// # Ok::<(), raid_core::layout::LayoutError>(())
+    /// ```
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let ch = match self.kind(Cell::new(r, c)) {
+                    ElementKind::Data => '.',
+                    ElementKind::Parity(ParityClass::Horizontal) => 'H',
+                    ElementKind::Parity(ParityClass::Vertical) => 'V',
+                    ElementKind::Parity(ParityClass::Diagonal) => 'D',
+                    ElementKind::Parity(ParityClass::AntiDiagonal) => 'A',
+                    ElementKind::Parity(ParityClass::HorizontalDiagonal) => 'X',
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Histogram of chain lengths, `(length, count)` sorted by length —
+    /// the "parity chain length" column of the paper's Table III.
+    pub fn chain_length_histogram(&self) -> Vec<(usize, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for ch in &self.chains {
+            *map.entry(ch.len()).or_insert(0usize) += 1;
+        }
+        map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy 2×3 layout: one row-parity per row in the last column.
+    fn toy() -> Layout {
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+            ElementKind::Data,
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+        ];
+        let chains = vec![
+            Chain {
+                class: ParityClass::Horizontal,
+                parity: Cell::new(0, 2),
+                members: vec![Cell::new(0, 0), Cell::new(0, 1)],
+            },
+            Chain {
+                class: ParityClass::Horizontal,
+                parity: Cell::new(1, 2),
+                members: vec![Cell::new(1, 0), Cell::new(1, 1)],
+            },
+        ];
+        Layout::new(2, 3, kinds, chains).unwrap()
+    }
+
+    #[test]
+    fn toy_layout_queries() {
+        let l = toy();
+        assert_eq!(l.rows(), 2);
+        assert_eq!(l.cols(), 3);
+        assert_eq!(l.num_data_cells(), 4);
+        assert!(l.is_data(Cell::new(0, 0)));
+        assert!(!l.is_data(Cell::new(0, 2)));
+        assert_eq!(l.chains_containing(Cell::new(0, 0)), &[ChainId(0)]);
+        assert_eq!(l.chain_of_parity(Cell::new(1, 2)), Some(ChainId(1)));
+        assert_eq!(l.data_ordinal(Cell::new(1, 0)), Some(2));
+        assert_eq!(l.data_cells()[3], Cell::new(1, 1));
+        assert_eq!(l.chain_length_histogram(), vec![(3, 2)]);
+        assert_eq!(l.parities_in_col(2).len(), 2);
+        assert_eq!(l.equations_of(Cell::new(0, 2)), vec![ChainId(0)]);
+    }
+
+    #[test]
+    fn rejects_wrong_kind_count() {
+        let err = Layout::new(2, 2, vec![ElementKind::Data; 3], vec![]).unwrap_err();
+        assert!(matches!(err, LayoutError::KindsShape { expected: 4, got: 3 }));
+    }
+
+    #[test]
+    fn rejects_parity_kind_mismatch() {
+        let kinds = vec![ElementKind::Data; 4];
+        let chains = vec![Chain {
+            class: ParityClass::Horizontal,
+            parity: Cell::new(0, 1),
+            members: vec![Cell::new(0, 0)],
+        }];
+        let err = Layout::new(2, 2, kinds, chains).unwrap_err();
+        assert!(matches!(err, LayoutError::ParityKindMismatch(_)));
+    }
+
+    #[test]
+    fn rejects_uncovered_data() {
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+            ElementKind::Data,
+            ElementKind::Data,
+        ];
+        let chains = vec![Chain {
+            class: ParityClass::Horizontal,
+            parity: Cell::new(0, 1),
+            members: vec![Cell::new(0, 0)],
+        }];
+        let err = Layout::new(2, 2, kinds, chains).unwrap_err();
+        assert!(matches!(err, LayoutError::UncoveredData(_)));
+    }
+
+    #[test]
+    fn rejects_orphan_parity() {
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+        ];
+        let chains = vec![Chain {
+            class: ParityClass::Horizontal,
+            parity: Cell::new(0, 1),
+            members: vec![Cell::new(0, 0), Cell::new(1, 0)],
+        }];
+        let err = Layout::new(2, 2, kinds, chains).unwrap_err();
+        assert!(matches!(err, LayoutError::OrphanParity(_)));
+    }
+
+    #[test]
+    fn rejects_duplicate_member_and_self_member() {
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+        ];
+        let dup = vec![Chain {
+            class: ParityClass::Horizontal,
+            parity: Cell::new(0, 1),
+            members: vec![Cell::new(0, 0), Cell::new(0, 0)],
+        }];
+        assert!(matches!(
+            Layout::new(1, 2, kinds.clone(), dup).unwrap_err(),
+            LayoutError::MalformedChain(_)
+        ));
+        let selfm = vec![Chain {
+            class: ParityClass::Horizontal,
+            parity: Cell::new(0, 1),
+            members: vec![Cell::new(0, 1)],
+        }];
+        assert!(matches!(
+            Layout::new(1, 2, kinds, selfm).unwrap_err(),
+            LayoutError::MalformedChain(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+        ];
+        let chains = vec![Chain {
+            class: ParityClass::Horizontal,
+            parity: Cell::new(0, 1),
+            members: vec![Cell::new(5, 0)],
+        }];
+        assert!(matches!(
+            Layout::new(1, 2, kinds, chains).unwrap_err(),
+            LayoutError::OutOfBounds(_)
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! Generic engine for XOR-based MDS array codes (RAID-6).
+//!
+//! Every array code in this workspace — the paper's HV Code and the baseline
+//! RDP, EVENODD, X-Code, H-Code, HDP and P-Code — is described to this crate
+//! as a [`layout::Layout`]: a grid of cells, a kind (data / parity) for each
+//! cell, and a set of **parity chains** (each parity cell is the XOR of its
+//! chain members). Everything else is generic machinery operating on that
+//! description:
+//!
+//! * [`stripe`] — element buffers and chain-driven encoding;
+//! * [`decoder`] — peeling + GF(2) Gaussian erasure decoding, used both as a
+//!   reference decoder and to prove the MDS property exhaustively in tests;
+//! * [`schedule`] — double-failure recovery schedules: the recovery-chain
+//!   structure (how many independent chains, longest chain `Lc`) that drives
+//!   the paper's Fig. 9(b);
+//! * [`plan`] — I/O planners: parity-update closure (update complexity),
+//!   partial-stripe-write cost (Fig. 6), degraded reads (Fig. 7), and the
+//!   hybrid-chain single-disk recovery optimizer (Fig. 9a);
+//! * [`io`] — per-disk I/O tallies and the load-balancing rate λ of Eq. (7);
+//! * [`invariants`] — structural checkers shared by every code's test suite.
+//!
+//! The trait [`code::ArrayCode`] ties a layout to its construction
+//! parameters; code crates implement it and inherit all planners.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod code;
+pub mod decoder;
+pub mod geometry;
+pub mod invariants;
+pub mod io;
+pub mod layout;
+pub mod plan;
+pub mod schedule;
+pub mod scrub;
+pub mod spec;
+pub mod stripe;
+
+pub use code::ArrayCode;
+pub use geometry::Cell;
+pub use layout::{Chain, ChainId, ElementKind, Layout};
+pub use stripe::Stripe;

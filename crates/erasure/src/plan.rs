@@ -1,0 +1,14 @@
+//! I/O planners: the algorithmic heart of the paper's evaluation.
+//!
+//! * [`update`] — which parities a data write must renew (update
+//!   complexity, Table III), including cascaded parities (RDP, HDP);
+//! * [`mod@write`] — partial-stripe-write plans (Fig. 6);
+//! * [`degraded`] — degraded-read plans (Fig. 7);
+//! * [`single`] — hybrid-chain single-disk recovery optimization (Fig. 9a),
+//!   following Xiang et al.'s minimum-I/O recovery approach cited by the
+//!   paper.
+
+pub mod degraded;
+pub mod single;
+pub mod update;
+pub mod write;

@@ -1,0 +1,107 @@
+//! Parity-update closure: which parity elements must be rewritten when a
+//! data element changes.
+//!
+//! For most codes a data element sits in exactly two chains, so two
+//! parities are renewed. Codes that chain parities into parities cascade:
+//! in RDP, writing a data element updates its row parity, and the row
+//! parity is itself a member of a diagonal chain, so that diagonal parity
+//! must be renewed too (the paper's "more than 2 extra updates" for RDP,
+//! and HDP's "3 extra updates").
+
+use crate::geometry::Cell;
+use crate::layout::Layout;
+
+/// Returns every parity cell that must be rewritten after `cell` changes,
+/// in propagation order (direct parities first, then cascades). `cell`
+/// itself is not included.
+///
+/// # Panics
+///
+/// Panics if `cell` is not a data cell — parity cells are never written
+/// directly by users.
+pub fn parity_updates(layout: &Layout, cell: Cell) -> Vec<Cell> {
+    assert!(layout.is_data(cell), "parity_updates called on parity cell {cell}");
+    let mut changed: Vec<Cell> = Vec::new();
+    let mut queue: Vec<Cell> = vec![cell];
+    let mut qi = 0;
+    while qi < queue.len() {
+        let cur = queue[qi];
+        qi += 1;
+        for &chain_id in layout.chains_containing(cur) {
+            let parity = layout.chain(chain_id).parity;
+            if parity != cell && !changed.contains(&parity) {
+                changed.push(parity);
+                queue.push(parity);
+            }
+        }
+    }
+    changed
+}
+
+/// Average number of parity updates per data-element write over the whole
+/// stripe — the "Update Complexity" column of Table III.
+pub fn update_complexity(layout: &Layout) -> f64 {
+    let data = layout.data_cells();
+    if data.is_empty() {
+        return 0.0;
+    }
+    let total: usize = data.iter().map(|&c| parity_updates(layout, c).len()).sum();
+    total as f64 / data.len() as f64
+}
+
+/// Maximum parity updates any single data element can trigger.
+pub fn worst_case_updates(layout: &Layout) -> usize {
+    layout
+        .data_cells()
+        .iter()
+        .map(|&c| parity_updates(layout, c).len())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{Chain, ElementKind, ParityClass};
+
+    /// d0 d1 | p | q with p = d0^d1 and q = d0 ^ p (RDP-style cascade).
+    fn cascade() -> Layout {
+        let c = Cell::new;
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+            ElementKind::Parity(ParityClass::Diagonal),
+        ];
+        let chains = vec![
+            Chain { class: ParityClass::Horizontal, parity: c(0, 2), members: vec![c(0, 0), c(0, 1)] },
+            Chain { class: ParityClass::Diagonal, parity: c(0, 3), members: vec![c(0, 0), c(0, 2)] },
+        ];
+        Layout::new(1, 4, kinds, chains).unwrap()
+    }
+
+    #[test]
+    fn direct_and_cascaded_updates() {
+        let l = cascade();
+        // d0 is in both chains directly: p and q.
+        let u0 = parity_updates(&l, Cell::new(0, 0));
+        assert_eq!(u0, vec![Cell::new(0, 2), Cell::new(0, 3)]);
+        // d1 is only in the horizontal chain, but p cascades into q.
+        let u1 = parity_updates(&l, Cell::new(0, 1));
+        assert_eq!(u1, vec![Cell::new(0, 2), Cell::new(0, 3)]);
+    }
+
+    #[test]
+    fn complexity_averages() {
+        let l = cascade();
+        assert!((update_complexity(&l) - 2.0).abs() < 1e-12);
+        assert_eq!(worst_case_updates(&l), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "parity cell")]
+    fn rejects_parity_argument() {
+        let l = cascade();
+        parity_updates(&l, Cell::new(0, 2));
+    }
+}

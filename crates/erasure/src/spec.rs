@@ -1,0 +1,266 @@
+//! Plain-text layout specifications: dump any [`Layout`] to a small
+//! human-editable format and parse it back. Useful for golden files,
+//! cross-tool debugging, and experimenting with hand-rolled layouts
+//! without writing a constructor.
+//!
+//! Format:
+//!
+//! ```text
+//! layout 3 5
+//! kinds
+//! ..D.H
+//! ..D.H
+//! ..D.H
+//! chain H 0,4 = 0,0 0,1 0,2
+//! chain D 0,2 = 1,0 2,1
+//! ```
+//!
+//! The `kinds` grid uses the [`Layout::render_ascii`] legend; each `chain`
+//! line is `<class letter> <parity r,c> = <member r,c>...`.
+
+use std::fmt;
+
+use crate::geometry::Cell;
+use crate::layout::{Chain, ElementKind, Layout, LayoutError, ParityClass};
+
+/// Error from [`parse_layout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLayoutError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layout spec error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseLayoutError {}
+
+impl From<LayoutError> for ParseLayoutError {
+    fn from(e: LayoutError) -> Self {
+        ParseLayoutError { line: 0, reason: e.to_string() }
+    }
+}
+
+fn class_letter(c: ParityClass) -> char {
+    match c {
+        ParityClass::Horizontal => 'H',
+        ParityClass::Vertical => 'V',
+        ParityClass::Diagonal => 'D',
+        ParityClass::AntiDiagonal => 'A',
+        ParityClass::HorizontalDiagonal => 'X',
+    }
+}
+
+fn class_from_letter(ch: char) -> Option<ParityClass> {
+    match ch {
+        'H' => Some(ParityClass::Horizontal),
+        'V' => Some(ParityClass::Vertical),
+        'D' => Some(ParityClass::Diagonal),
+        'A' => Some(ParityClass::AntiDiagonal),
+        'X' => Some(ParityClass::HorizontalDiagonal),
+        _ => None,
+    }
+}
+
+/// Renders a layout as a spec string that [`parse_layout`] accepts.
+pub fn format_layout(layout: &Layout) -> String {
+    let mut out = format!("layout {} {}\nkinds\n", layout.rows(), layout.cols());
+    out.push_str(&layout.render_ascii());
+    for chain in layout.chains() {
+        out.push_str(&format!(
+            "chain {} {},{} =",
+            class_letter(chain.class),
+            chain.parity.row,
+            chain.parity.col
+        ));
+        for m in &chain.members {
+            out.push_str(&format!(" {},{}", m.row, m.col));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_cell(tok: &str, line: usize) -> Result<Cell, ParseLayoutError> {
+    let (r, c) = tok.split_once(',').ok_or_else(|| ParseLayoutError {
+        line,
+        reason: format!("expected r,c got '{tok}'"),
+    })?;
+    let parse = |s: &str| -> Result<usize, ParseLayoutError> {
+        s.parse().map_err(|_| ParseLayoutError {
+            line,
+            reason: format!("bad coordinate '{s}'"),
+        })
+    };
+    Ok(Cell::new(parse(r)?, parse(c)?))
+}
+
+/// Parses a spec produced by [`format_layout`] (or written by hand).
+///
+/// # Errors
+///
+/// Returns [`ParseLayoutError`] on malformed syntax or a structurally
+/// invalid layout (validation is [`Layout::new`]'s).
+pub fn parse_layout(text: &str) -> Result<Layout, ParseLayoutError> {
+    let mut lines = text.lines().enumerate().peekable();
+
+    // Header.
+    let (ln, header) = lines.next().ok_or(ParseLayoutError {
+        line: 1,
+        reason: "empty spec".into(),
+    })?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("layout") {
+        return Err(ParseLayoutError { line: ln + 1, reason: "expected 'layout R C'".into() });
+    }
+    let dims: Vec<usize> = parts
+        .map(|t| {
+            t.parse().map_err(|_| ParseLayoutError {
+                line: ln + 1,
+                reason: format!("bad dimension '{t}'"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let [rows, cols] = dims[..] else {
+        return Err(ParseLayoutError { line: ln + 1, reason: "expected two dimensions".into() });
+    };
+
+    // Kinds grid.
+    match lines.next() {
+        Some((_, l)) if l.trim() == "kinds" => {}
+        other => {
+            let line = other.map_or(2, |(n, _)| n + 1);
+            return Err(ParseLayoutError { line, reason: "expected 'kinds'".into() });
+        }
+    }
+    let mut kinds = Vec::with_capacity(rows * cols);
+    for _ in 0..rows {
+        let (ln, row) = lines.next().ok_or(ParseLayoutError {
+            line: 0,
+            reason: "kinds grid truncated".into(),
+        })?;
+        let chars: Vec<char> = row.trim().chars().collect();
+        if chars.len() != cols {
+            return Err(ParseLayoutError {
+                line: ln + 1,
+                reason: format!("expected {cols} cells, got {}", chars.len()),
+            });
+        }
+        for ch in chars {
+            kinds.push(match ch {
+                '.' => ElementKind::Data,
+                other => ElementKind::Parity(class_from_letter(other).ok_or_else(|| {
+                    ParseLayoutError { line: ln + 1, reason: format!("unknown kind '{other}'") }
+                })?),
+            });
+        }
+    }
+
+    // Chains.
+    let mut chains = Vec::new();
+    for (ln, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rest = line.strip_prefix("chain ").ok_or_else(|| ParseLayoutError {
+            line: ln + 1,
+            reason: format!("expected 'chain ...', got '{line}'"),
+        })?;
+        let (head, members_str) = rest.split_once('=').ok_or(ParseLayoutError {
+            line: ln + 1,
+            reason: "missing '='".into(),
+        })?;
+        let mut head_toks = head.split_whitespace();
+        let class_tok = head_toks.next().ok_or(ParseLayoutError {
+            line: ln + 1,
+            reason: "missing class".into(),
+        })?;
+        let class = class_tok
+            .chars()
+            .next()
+            .and_then(class_from_letter)
+            .ok_or_else(|| ParseLayoutError {
+                line: ln + 1,
+                reason: format!("unknown class '{class_tok}'"),
+            })?;
+        let parity_tok = head_toks.next().ok_or(ParseLayoutError {
+            line: ln + 1,
+            reason: "missing parity cell".into(),
+        })?;
+        let parity = parse_cell(parity_tok, ln + 1)?;
+        let members = members_str
+            .split_whitespace()
+            .map(|t| parse_cell(t, ln + 1))
+            .collect::<Result<Vec<_>, _>>()?;
+        chains.push(Chain { class, parity, members });
+    }
+
+    Ok(Layout::new(rows, cols, kinds, chains)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Layout {
+        let c = Cell::new;
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+            ElementKind::Parity(ParityClass::Diagonal),
+        ];
+        let chains = vec![
+            Chain { class: ParityClass::Horizontal, parity: c(0, 2), members: vec![c(0, 0), c(0, 1)] },
+            Chain { class: ParityClass::Diagonal, parity: c(0, 3), members: vec![c(0, 0)] },
+        ];
+        Layout::new(1, 4, kinds, chains).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let l = toy();
+        let spec = format_layout(&l);
+        let back = parse_layout(&spec).unwrap();
+        assert_eq!(back.rows(), l.rows());
+        assert_eq!(back.cols(), l.cols());
+        assert_eq!(back.chains(), l.chains());
+        assert_eq!(back.render_ascii(), l.render_ascii());
+    }
+
+    #[test]
+    fn hand_written_spec_parses() {
+        let spec = "layout 1 3\nkinds\n..H\nchain H 0,2 = 0,0 0,1\n";
+        let l = parse_layout(spec).unwrap();
+        assert_eq!(l.num_data_cells(), 2);
+        assert_eq!(l.chains().len(), 1);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        assert_eq!(parse_layout("").unwrap_err().line, 1);
+        let bad_dim = parse_layout("layout 1 x\n").unwrap_err();
+        assert!(bad_dim.reason.contains("bad dimension"));
+        let bad_kinds = parse_layout("layout 1 3\nkinds\n..Z\n").unwrap_err();
+        assert!(bad_kinds.reason.contains("unknown kind"));
+        let bad_chain = parse_layout("layout 1 3\nkinds\n..H\nchainz\n").unwrap_err();
+        assert_eq!(bad_chain.line, 4);
+        let bad_cell =
+            parse_layout("layout 1 3\nkinds\n..H\nchain H 0;2 = 0,0\n").unwrap_err();
+        assert!(bad_cell.reason.contains("expected r,c"));
+    }
+
+    #[test]
+    fn structural_validation_still_applies() {
+        // Parity cell marked as data in the grid → Layout::new must reject.
+        let spec = "layout 1 3\nkinds\n...\nchain H 0,2 = 0,0\n";
+        let err = parse_layout(spec).unwrap_err();
+        assert!(err.reason.contains("not marked as a parity"));
+    }
+}

@@ -1,0 +1,245 @@
+//! `GF(2^8)` arithmetic with log/exp tables, as used by the Reed–Solomon
+//! RAID-6 baselines (Section II of the paper: Reed–Solomon and Cauchy
+//! Reed–Solomon codes).
+//!
+//! The field is built over the standard polynomial `x^8 + x^4 + x^3 + x^2 + 1`
+//! (0x11D), the same primitive polynomial Jerasure and most storage RS
+//! implementations use, with generator `α = 2`.
+
+use std::sync::OnceLock;
+
+/// The primitive polynomial 0x11D without its top bit.
+const POLY: u16 = 0x1D;
+
+/// Precomputed log/exp tables for `GF(2^8)`.
+#[derive(Debug)]
+struct Tables {
+    /// `exp[i] = α^i`, doubled in length so products need no reduction.
+    exp: [u8; 512],
+    /// `log[x]` for `x != 0`; `log[0]` is a sentinel never read.
+    log: [u16; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x100 | POLY; // reduce by x^8 + x^4 + x^3 + x^2 + 1
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Field addition (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication.
+///
+/// ```
+/// use raid_math::gf256;
+/// assert_eq!(gf256::mul(0, 0xFF), 0);
+/// assert_eq!(gf256::mul(1, 0xAB), 0xAB);
+/// // α · α = α² (α = 2)
+/// assert_eq!(gf256::mul(2, 2), 4);
+/// ```
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[(t.log[a as usize] + t.log[b as usize]) as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics if `a == 0`.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(2^8)");
+    let t = tables();
+    t.exp[(255 - t.log[a as usize]) as usize]
+}
+
+/// Field division `a / b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// `α^e` for the generator `α = 2`.
+#[inline]
+pub fn exp(e: usize) -> u8 {
+    tables().exp[e % 255]
+}
+
+/// `log_α(a)`.
+///
+/// # Panics
+///
+/// Panics if `a == 0`.
+#[inline]
+pub fn log(a: u8) -> usize {
+    assert!(a != 0, "log of zero in GF(2^8)");
+    tables().log[a as usize] as usize
+}
+
+/// Computes `dst[i] ^= c · src[i]` over whole buffers — the inner loop of
+/// Reed–Solomon encoding.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_acc_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "slice length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[(lc + t.log[*s as usize]) as usize];
+        }
+    }
+}
+
+/// Computes `dst[i] = c · dst[i]` in place.
+pub fn scale_slice(c: u8, dst: &mut [u8]) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize];
+    for d in dst.iter_mut() {
+        if *d != 0 {
+            *d = t.exp[(lc + t.log[*d as usize]) as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-by-bit ("Russian peasant") reference multiplication.
+    fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+        let mut r = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                r ^= a;
+            }
+            let hi = a & 0x80 != 0;
+            a <<= 1;
+            if hi {
+                a ^= POLY as u8;
+            }
+            b >>= 1;
+        }
+        r
+    }
+
+    #[test]
+    fn table_mul_matches_reference_exhaustively() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms() {
+        // associativity & commutativity on a sample grid, distributivity
+        for a in (0..=255u8).step_by(17) {
+            for b in (0..=255u8).step_by(13) {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in (0..=255u8).step_by(29) {
+                    assert_eq!(mul(a, mul(b, c)), mul(mul(a, b), c));
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_works_for_all_nonzero() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn inverse_of_zero_panics() {
+        inv(0);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // α is primitive: its powers enumerate all 255 nonzero elements.
+        let mut seen = [false; 256];
+        for e in 0..255 {
+            let v = exp(e);
+            assert!(!seen[v as usize], "α^{e} repeated");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0]);
+        assert_eq!(log(exp(100)), 100);
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_scalar_loop() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x1D, 0xFF] {
+            let mut dst = vec![0xA5u8; 256];
+            let mut expect = dst.clone();
+            for (e, s) in expect.iter_mut().zip(&src) {
+                *e ^= mul(c, *s);
+            }
+            mul_acc_slice(c, &src, &mut dst);
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+
+    #[test]
+    fn scale_slice_matches_scalar_loop() {
+        let mut dst: Vec<u8> = (0..=255).collect();
+        let expect: Vec<u8> = dst.iter().map(|&x| mul(3, x)).collect();
+        scale_slice(3, &mut dst);
+        assert_eq!(dst, expect);
+        scale_slice(0, &mut dst);
+        assert!(dst.iter().all(|&x| x == 0));
+    }
+}

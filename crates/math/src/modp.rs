@@ -1,0 +1,180 @@
+//! The `⟨·⟩_p` modular arithmetic of the HV Code paper (Table I).
+//!
+//! All functions take signed inputs so that expressions straight out of the
+//! paper — `⟨j − 4i⟩_p`, `⟨(f1 − f2)/2⟩_p` — can be written verbatim without
+//! manual normalization.
+
+use crate::prime::Prime;
+
+/// `⟨x⟩_p`: reduces a (possibly negative) integer into `0..p`.
+///
+/// ```
+/// use raid_math::{modp::reduce, Prime};
+/// let p = Prime::new(7)?;
+/// assert_eq!(reduce(-1, p), 6);
+/// assert_eq!(reduce(15, p), 1);
+/// # Ok::<(), raid_math::prime::NotPrimeError>(())
+/// ```
+pub fn reduce(x: i64, p: Prime) -> usize {
+    let m = p.get() as i64;
+    (((x % m) + m) % m) as usize
+}
+
+/// `⟨a + b⟩_p` for signed operands.
+pub fn add_mod(a: i64, b: i64, p: Prime) -> usize {
+    reduce(a + b, p)
+}
+
+/// `⟨a − b⟩_p` for signed operands.
+pub fn sub_mod(a: i64, b: i64, p: Prime) -> usize {
+    reduce(a - b, p)
+}
+
+/// `⟨a · b⟩_p` for signed operands.
+pub fn mul_mod(a: i64, b: i64, p: Prime) -> usize {
+    reduce(reduce(a, p) as i64 * reduce(b, p) as i64, p)
+}
+
+/// `a^e mod p` by binary exponentiation.
+pub fn pow_mod(a: i64, mut e: u32, p: Prime) -> usize {
+    let mut base = reduce(a, p);
+    let mut acc = 1usize;
+    let m = p.get();
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = acc * base % m;
+        }
+        base = base * base % m;
+        e >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse `a^{-1} mod p` via Fermat's little theorem.
+///
+/// # Panics
+///
+/// Panics if `⟨a⟩_p = 0`, which has no inverse.
+pub fn inv_mod(a: i64, p: Prime) -> usize {
+    let r = reduce(a, p);
+    assert!(r != 0, "zero has no modular inverse");
+    pow_mod(r as i64, p.get() as u32 - 2, p)
+}
+
+/// Modular division `u := ⟨i / j⟩_p`, defined in Table I of the paper by
+/// `⟨u · j⟩_p = ⟨i⟩_p`.
+///
+/// ```
+/// use raid_math::{modp::{div_mod, mul_mod}, Prime};
+/// let p = Prime::new(13)?;
+/// let u = div_mod(5, 4, p);
+/// assert_eq!(mul_mod(u as i64, 4, p), 5);
+/// # Ok::<(), raid_math::prime::NotPrimeError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `⟨j⟩_p = 0`.
+pub fn div_mod(i: i64, j: i64, p: Prime) -> usize {
+    mul_mod(i, inv_mod(j, p) as i64, p)
+}
+
+/// Modular halving `⟨x / 2⟩_p` exactly as spelled out below Eq. (2) of the
+/// paper:
+///
+/// * if `⟨x⟩_p` is even, the result is `⟨x⟩_p / 2`;
+/// * if `⟨x⟩_p` is odd, the result is `(⟨x⟩_p + p) / 2`.
+///
+/// Because `p` is odd, `⟨x⟩_p + p` is even whenever `⟨x⟩_p` is odd, so the
+/// division is always exact, and the result equals `⟨x · 2^{-1}⟩_p`.
+///
+/// ```
+/// use raid_math::{modp::{half_mod, mul_mod}, Prime};
+/// let p = Prime::new(7)?;
+/// // k := ⟨(j − 4i)/2⟩_7 with j = 2, i = 1: ⟨−2/2⟩ = ⟨−1⟩ = 6
+/// assert_eq!(half_mod(2 - 4, p), 6);
+/// // Always a true halving: ⟨2 · half⟩ = ⟨x⟩
+/// assert_eq!(mul_mod(2, half_mod(-2, p) as i64, p), 5);
+/// # Ok::<(), raid_math::prime::NotPrimeError>(())
+/// ```
+pub fn half_mod(x: i64, p: Prime) -> usize {
+    let r = reduce(x, p);
+    if r % 2 == 0 {
+        r / 2
+    } else {
+        (r + p.get()) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p7() -> Prime {
+        Prime::new(7).unwrap()
+    }
+
+    #[test]
+    fn reduce_handles_negatives() {
+        assert_eq!(reduce(-8, p7()), 6);
+        assert_eq!(reduce(-7, p7()), 0);
+        assert_eq!(reduce(0, p7()), 0);
+        assert_eq!(reduce(7, p7()), 0);
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        assert_eq!(add_mod(5, 4, p7()), 2);
+        assert_eq!(sub_mod(2, 5, p7()), 4);
+        assert_eq!(mul_mod(-3, 5, p7()), 6); // ⟨4·5⟩_7 = 20 mod 7 = 6
+    }
+
+    #[test]
+    fn pow_and_inverse() {
+        let p = Prime::new(13).unwrap();
+        for a in 1..13 {
+            let inv = inv_mod(a, p);
+            assert_eq!(mul_mod(a, inv as i64, p), 1, "a = {a}");
+        }
+        assert_eq!(pow_mod(2, 0, p), 1);
+        assert_eq!(pow_mod(2, 12, p), 1); // Fermat
+    }
+
+    #[test]
+    #[should_panic(expected = "no modular inverse")]
+    fn inverse_of_zero_panics() {
+        inv_mod(7, p7());
+    }
+
+    #[test]
+    fn division_matches_table_one_definition() {
+        for p in [5usize, 7, 11, 13, 17] {
+            let p = Prime::new(p).unwrap();
+            for i in 0..p.get() as i64 {
+                for j in 1..p.get() as i64 {
+                    let u = div_mod(i, j, p);
+                    assert_eq!(mul_mod(u as i64, j, p), reduce(i, p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halving_matches_inverse_of_two() {
+        for p in [5usize, 7, 11, 13, 19, 23] {
+            let p = Prime::new(p).unwrap();
+            for x in -50..50 {
+                assert_eq!(half_mod(x, p), div_mod(x, 2, p), "x={x}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn halving_follows_papers_case_split() {
+        let p = Prime::new(7).unwrap();
+        // even residue: direct halving
+        assert_eq!(half_mod(4, p), 2);
+        // odd residue: (r + p)/2
+        assert_eq!(half_mod(3, p), 5);
+    }
+}

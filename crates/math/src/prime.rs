@@ -1,0 +1,189 @@
+//! Primality testing and the validated [`Prime`] newtype.
+//!
+//! Every array code in this workspace is parameterized by a prime `p`
+//! (RDP/H-Code use `p + 1` disks, X-Code/P-Code `p`, HDP/HV `p − 1`).
+//! Constructing a [`Prime`] proves at the type level that the parameter is in
+//! fact prime, so the code constructors never need to re-validate.
+
+use std::fmt;
+
+/// Error returned when a value fails prime validation.
+///
+/// ```
+/// use raid_math::prime::Prime;
+/// assert!(Prime::new(9).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPrimeError {
+    value: usize,
+}
+
+impl NotPrimeError {
+    /// The rejected value.
+    pub fn value(&self) -> usize {
+        self.value
+    }
+}
+
+impl fmt::Display for NotPrimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} is not a prime number greater than 2", self.value)
+    }
+}
+
+impl std::error::Error for NotPrimeError {}
+
+/// A validated odd prime, the `p` of the HV Code paper.
+///
+/// The paper's constructions all require `p` to be an odd prime (2 is
+/// rejected: a one-disk "array" is meaningless and the modular halving of
+/// Eq. (2) degenerates).
+///
+/// ```
+/// use raid_math::prime::Prime;
+/// let p = Prime::new(13)?;
+/// assert_eq!(p.get(), 13);
+/// # Ok::<(), raid_math::prime::NotPrimeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prime(usize);
+
+impl Prime {
+    /// Validates `p` and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPrimeError`] if `p` is not an odd prime (so `p >= 3`).
+    pub fn new(p: usize) -> Result<Self, NotPrimeError> {
+        if p > 2 && is_prime(p) {
+            Ok(Prime(p))
+        } else {
+            Err(NotPrimeError { value: p })
+        }
+    }
+
+    /// Returns the underlying prime value.
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Prime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl TryFrom<usize> for Prime {
+    type Error = NotPrimeError;
+
+    fn try_from(value: usize) -> Result<Self, Self::Error> {
+        Prime::new(value)
+    }
+}
+
+impl From<Prime> for usize {
+    fn from(p: Prime) -> usize {
+        p.get()
+    }
+}
+
+/// Deterministic trial-division primality test.
+///
+/// The primes used by RAID-6 array codes are tiny (a disk array rarely
+/// exceeds a few dozen spindles), so trial division up to `√n` is exact and
+/// more than fast enough.
+///
+/// ```
+/// use raid_math::prime::is_prime;
+/// assert!(is_prime(23));
+/// assert!(!is_prime(25));
+/// ```
+pub fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Returns all odd primes in `lo..=hi`, the usual sweep axis of the paper's
+/// Fig. 9 (`p ∈ {5, 7, 11, …, 23}`).
+///
+/// ```
+/// use raid_math::prime::odd_primes_in;
+/// let ps: Vec<usize> = odd_primes_in(5, 13).iter().map(|p| p.get()).collect();
+/// assert_eq!(ps, vec![5, 7, 11, 13]);
+/// ```
+pub fn odd_primes_in(lo: usize, hi: usize) -> Vec<Prime> {
+    (lo.max(3)..=hi).filter_map(|n| Prime::new(n).ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_accepted() {
+        for p in [3usize, 5, 7, 11, 13, 17, 19, 23, 29, 31] {
+            assert!(Prime::new(p).is_ok(), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn composites_and_two_rejected() {
+        for n in [0usize, 1, 2, 4, 6, 8, 9, 15, 21, 25, 27, 33, 49] {
+            assert!(Prime::new(n).is_err(), "{n} should be rejected");
+        }
+    }
+
+    #[test]
+    fn error_reports_value_and_displays() {
+        let err = Prime::new(9).unwrap_err();
+        assert_eq!(err.value(), 9);
+        assert!(err.to_string().contains('9'));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let p = Prime::try_from(11).unwrap();
+        assert_eq!(usize::from(p), 11);
+        assert_eq!(p.to_string(), "11");
+    }
+
+    #[test]
+    fn odd_primes_in_matches_figure_nine_sweep() {
+        let ps: Vec<usize> = odd_primes_in(5, 23).iter().map(|p| p.get()).collect();
+        assert_eq!(ps, vec![5, 7, 11, 13, 17, 19, 23]);
+    }
+
+    #[test]
+    fn is_prime_agrees_with_sieve_up_to_10k() {
+        // Simple Eratosthenes cross-check.
+        let n = 10_000;
+        let mut sieve = vec![true; n + 1];
+        sieve[0] = false;
+        sieve[1] = false;
+        for i in 2..=n {
+            if sieve[i] {
+                let mut j = i * i;
+                while j <= n {
+                    sieve[j] = false;
+                    j += i;
+                }
+            }
+        }
+        for (i, &s) in sieve.iter().enumerate() {
+            assert_eq!(is_prime(i), s, "disagreement at {i}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Wide XOR kernels — the only arithmetic XOR-based array codes (HV, RDP,
+//! X-Code, …) ever perform on element payloads.
+//!
+//! The kernels chunk buffers into `u64` words; the compiler autovectorizes
+//! the word loop, which is plenty for a reproduction study (the paper's
+//! figures are dominated by I/O counts, not XOR throughput).
+
+/// `dst ^= src`, element-wise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// use raid_math::xor::xor_into;
+/// let mut d = vec![0b1010u8; 4];
+/// xor_into(&mut d, &[0b0110u8; 4]);
+/// assert_eq!(d, vec![0b1100u8; 4]);
+/// ```
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_into: length mismatch");
+    let mut d_chunks = dst.chunks_exact_mut(8);
+    let mut s_chunks = src.chunks_exact(8);
+    for (d, s) in (&mut d_chunks).zip(&mut s_chunks) {
+        let word = u64::from_ne_bytes(d.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&word.to_ne_bytes());
+    }
+    for (d, s) in d_chunks.into_remainder().iter_mut().zip(s_chunks.remainder()) {
+        *d ^= *s;
+    }
+}
+
+/// XORs all `srcs` into `dst` (which is typically zeroed first by the
+/// caller when computing a parity from scratch).
+///
+/// # Panics
+///
+/// Panics if any source length differs from `dst`.
+pub fn xor_many_into(dst: &mut [u8], srcs: &[&[u8]]) {
+    for src in srcs {
+        xor_into(dst, src);
+    }
+}
+
+/// Returns the XOR of all sources as a fresh buffer.
+///
+/// # Panics
+///
+/// Panics if `srcs` is empty or lengths differ.
+pub fn xor_all(srcs: &[&[u8]]) -> Vec<u8> {
+    assert!(!srcs.is_empty(), "xor_all: no sources");
+    let mut out = srcs[0].to_vec();
+    for src in &srcs[1..] {
+        xor_into(&mut out, src);
+    }
+    out
+}
+
+/// True if the buffer is entirely zero — handy for parity-consistency
+/// checks (`P ^ recomputed(P) == 0`).
+pub fn is_zero(buf: &[u8]) -> bool {
+    buf.iter().all(|&b| b == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_into_basic() {
+        let mut d = vec![0xFFu8, 0x00, 0xAA];
+        xor_into(&mut d, &[0x0F, 0xF0, 0xAA]);
+        assert_eq!(d, vec![0xF0, 0xF0, 0x00]);
+    }
+
+    #[test]
+    fn xor_is_involution() {
+        let a: Vec<u8> = (0..100).map(|i| (i * 7 + 3) as u8).collect();
+        let b: Vec<u8> = (0..100).map(|i| (i * 13 + 1) as u8).collect();
+        let mut d = a.clone();
+        xor_into(&mut d, &b);
+        xor_into(&mut d, &b);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut d = vec![0u8; 3];
+        xor_into(&mut d, &[0u8; 4]);
+    }
+
+    #[test]
+    fn xor_all_and_many() {
+        let a = [1u8, 2, 3];
+        let b = [4u8, 5, 6];
+        let c = [7u8, 8, 9];
+        let x = xor_all(&[&a, &b, &c]);
+        assert_eq!(x, vec![1 ^ 4 ^ 7, 2 ^ 5 ^ 8, 3 ^ 6 ^ 9]);
+        let mut d = vec![0u8; 3];
+        xor_many_into(&mut d, &[&a, &b, &c]);
+        assert_eq!(d, x);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(is_zero(&[0u8; 16]));
+        assert!(!is_zero(&[0, 0, 1]));
+        assert!(is_zero(&[]));
+    }
+
+    #[test]
+    fn odd_lengths_and_empty() {
+        let mut d = vec![0xAB; 17];
+        let s = vec![0xAB; 17];
+        xor_into(&mut d, &s);
+        assert!(is_zero(&d));
+        let mut e: Vec<u8> = vec![];
+        xor_into(&mut e, &[]);
+        assert!(e.is_empty());
+    }
+}

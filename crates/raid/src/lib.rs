@@ -1,0 +1,26 @@
+//! A RAID-6 controller over any [`raid_core::ArrayCode`].
+//!
+//! [`volume::RaidVolume`] is the piece a downstream user actually mounts:
+//! it stripes a data-element address space over an in-memory disk array,
+//! performs read-modify-write partial stripe writes with incremental parity
+//! updates, serves degraded reads while disks are failed, and rebuilds one
+//! or two failed disks — all while tallying per-disk I/O exactly the way
+//! the paper's evaluation counts it (element read/write requests).
+//!
+//! [`addr`] maps the linear data-element address space onto stripes and
+//! optionally rotates stripes across disks ("stripe rotation", the
+//! traditional balancing technique the paper contrasts with parity
+//! spreading).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod mttr;
+pub mod reliability;
+pub mod replay;
+pub mod volume;
+
+pub use addr::Addressing;
+pub use replay::{replay_read_patterns, replay_write_trace, ReadReplay, WriteReplay};
+pub use volume::{RaidVolume, VolumeError};

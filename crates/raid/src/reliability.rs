@@ -1,0 +1,103 @@
+//! Array reliability: mean time to data loss (MTTDL) under the classical
+//! Markov model, driven by the rebuild times of [`crate::mttr`].
+//!
+//! RAID-6 loses data when a third disk dies while two are rebuilding. With
+//! per-disk mean time to failure `MTTF` and mean repair times `R1` (one
+//! disk down) and `R2` (two disks down), the standard birth–death chain
+//! gives
+//!
+//! ```text
+//! MTTDL ≈ MTTF³ / ( n · (n−1) · (n−2) · R1 · R2 )
+//! ```
+//!
+//! The model makes the usual simplifications (exponential lifetimes,
+//! independent failures, repair times ≪ MTTF); its value here is
+//! *comparative*: a code that shortens rebuilds — the HV paper's central
+//! reliability argument — multiplies MTTDL by the same factor for every
+//! array size, and this module quantifies that.
+
+use disk_sim::DiskProfile;
+use raid_core::ArrayCode;
+
+use crate::mttr::estimate_rebuild;
+
+/// Hours in a simulated millisecond.
+const MS_TO_HOURS: f64 = 1.0 / 3_600_000.0;
+
+/// MTTDL estimate and its inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MttdlEstimate {
+    /// Disks in the array.
+    pub disks: usize,
+    /// Single-disk rebuild time, hours.
+    pub rebuild_one_h: f64,
+    /// Double-disk rebuild time, hours.
+    pub rebuild_two_h: f64,
+    /// Mean time to data loss, hours.
+    pub mttdl_h: f64,
+}
+
+/// Estimates MTTDL for `stripes` stripes of `code` with per-disk
+/// `mttf_hours` (disk datasheets quote 1–2 million hours).
+///
+/// # Panics
+///
+/// Panics if `mttf_hours` is not positive, the array has fewer than three
+/// disks, or `stripes` is zero.
+pub fn estimate_mttdl(
+    code: &dyn ArrayCode,
+    stripes: usize,
+    profile: DiskProfile,
+    mttf_hours: f64,
+) -> MttdlEstimate {
+    assert!(mttf_hours > 0.0, "MTTF must be positive");
+    let n = code.layout().cols();
+    assert!(n >= 3, "MTTDL model needs at least three disks");
+    let rebuild = estimate_rebuild(code, stripes, profile);
+    let r1 = rebuild.single_ms * MS_TO_HOURS;
+    let r2 = rebuild.double_ms * MS_TO_HOURS;
+    let nf = n as f64;
+    let mttdl = mttf_hours.powi(3) / (nf * (nf - 1.0) * (nf - 2.0) * r1 * r2);
+    MttdlEstimate { disks: n, rebuild_one_h: r1, rebuild_two_h: r2, mttdl_h: mttdl }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hv_code::HvCode;
+    use raid_baselines::HdpCode;
+
+    #[test]
+    fn faster_rebuilds_mean_longer_mttdl() {
+        // HV vs HDP at the same disk count (both p − 1): HV's shorter
+        // chains and 4-way recovery parallelism must translate into a
+        // higher MTTDL.
+        let profile = DiskProfile::savvio_10k();
+        let hv = estimate_mttdl(&HvCode::new(13).unwrap(), 64, profile, 1_000_000.0);
+        let hdp = estimate_mttdl(&HdpCode::new(13).unwrap(), 64, profile, 1_000_000.0);
+        assert_eq!(hv.disks, hdp.disks);
+        assert!(hv.rebuild_two_h < hdp.rebuild_two_h);
+        assert!(hv.mttdl_h > hdp.mttdl_h);
+    }
+
+    #[test]
+    fn mttdl_scales_inversely_with_rebuild_time() {
+        let profile = DiskProfile::savvio_10k();
+        let small = estimate_mttdl(&HvCode::new(7).unwrap(), 8, profile, 1_000_000.0);
+        let large = estimate_mttdl(&HvCode::new(7).unwrap(), 80, profile, 1_000_000.0);
+        // 10× the data → ~10× both rebuild times → ~100× lower MTTDL.
+        let ratio = small.mttdl_h / large.mttdl_h;
+        assert!((ratio - 100.0).abs() < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "MTTF must be positive")]
+    fn bad_mttf_rejected() {
+        estimate_mttdl(
+            &HvCode::new(7).unwrap(),
+            1,
+            DiskProfile::savvio_10k(),
+            0.0,
+        );
+    }
+}

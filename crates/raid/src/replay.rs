@@ -1,0 +1,263 @@
+//! Trace replay: drive a [`RaidVolume`] with a workload trace while a
+//! [`DiskArray`] simulator accounts the time — the engine behind the
+//! paper's Fig. 6/7 experiments, exposed as a library so applications can
+//! evaluate a code on their own traces.
+
+use disk_sim::{DiskArray, DiskError};
+use raid_core::io::IoTally;
+use raid_workloads::{ReadPattern, WriteTrace};
+
+use crate::volume::{RaidVolume, VolumeError};
+
+/// Outcome of replaying a write trace.
+#[derive(Debug, Clone)]
+pub struct WriteReplay {
+    /// Patterns executed (repetitions included).
+    pub patterns: u64,
+    /// Per-pattern simulated latencies, milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// The volume's I/O tally delta for this replay.
+    pub tally: IoTally,
+}
+
+impl WriteReplay {
+    /// Total element-write requests — Fig. 6a's metric.
+    pub fn total_write_requests(&self) -> u64 {
+        self.tally.total_writes()
+    }
+
+    /// Load balancing rate λ over writes — Fig. 6b's metric.
+    pub fn lambda(&self) -> f64 {
+        self.tally.write_balance_rate()
+    }
+
+    /// Mean simulated latency per pattern — Fig. 6c's metric.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latencies_ms.is_empty() {
+            0.0
+        } else {
+            self.latencies_ms.iter().sum::<f64>() / self.latencies_ms.len() as f64
+        }
+    }
+}
+
+/// Errors from replaying a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The volume rejected an operation.
+    Volume(VolumeError),
+    /// The simulator rejected a request.
+    Disk(DiskError),
+    /// Simulator and volume disagree on the number of disks.
+    ShapeMismatch {
+        /// Disks in the volume.
+        volume: usize,
+        /// Disks in the simulator.
+        sim: usize,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Volume(e) => e.fmt(f),
+            ReplayError::Disk(e) => e.fmt(f),
+            ReplayError::ShapeMismatch { volume, sim } => {
+                write!(f, "volume has {volume} disks but simulator has {sim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<VolumeError> for ReplayError {
+    fn from(e: VolumeError) -> Self {
+        ReplayError::Volume(e)
+    }
+}
+
+impl From<DiskError> for ReplayError {
+    fn from(e: DiskError) -> Self {
+        ReplayError::Disk(e)
+    }
+}
+
+/// Replays a write trace pattern by pattern: each pattern's element
+/// requests (reads + writes) form one simulator batch. Pattern starts are
+/// clipped to the volume's capacity.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] on shape mismatches or if the volume rejects an
+/// operation (e.g. too many failed disks).
+pub fn replay_write_trace(
+    volume: &mut RaidVolume,
+    sim: &mut DiskArray,
+    trace: &WriteTrace,
+) -> Result<WriteReplay, ReplayError> {
+    if volume.disks() != sim.disks() {
+        return Err(ReplayError::ShapeMismatch { volume: volume.disks(), sim: sim.disks() });
+    }
+    let element = volume.element_size();
+    let baseline = volume.tally().clone();
+    let mut prev = baseline.clone();
+    let mut latencies = Vec::new();
+    let mut buf = vec![0u8; 64 * element];
+    let mut patterns = 0u64;
+
+    for (start, len) in trace.expanded() {
+        let start = start.min(volume.data_elements() - 1);
+        let len = len.min(volume.data_elements() - start);
+        if buf.len() < len * element {
+            buf.resize(len * element, 0);
+        }
+        buf[0] = buf[0].wrapping_add(1);
+        volume.write(start, &buf[..len * element])?;
+
+        let tally = volume.tally();
+        let mut requests = Vec::new();
+        for disk in 0..volume.disks() {
+            let n = (tally.reads()[disk] - prev.reads()[disk])
+                + (tally.writes()[disk] - prev.writes()[disk]);
+            requests.extend(std::iter::repeat(disk).take(n as usize));
+        }
+        prev = tally.clone();
+        latencies.push(sim.run_batch(requests)?);
+        patterns += 1;
+    }
+
+    // Delta tally for this replay only.
+    let mut tally = volume.tally().clone();
+    let mut delta = IoTally::new(tally.disks());
+    for disk in 0..tally.disks() {
+        delta.add_reads(disk, tally.reads()[disk] - baseline.reads()[disk]);
+        delta.add_writes(disk, tally.writes()[disk] - baseline.writes()[disk]);
+    }
+    tally = delta;
+    Ok(WriteReplay { patterns, latencies_ms: latencies, tally })
+}
+
+/// Outcome of replaying degraded-read patterns.
+#[derive(Debug, Clone)]
+pub struct ReadReplay {
+    /// Per-pattern simulated latencies, milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Per-pattern I/O efficiencies `L′/L` — Fig. 7b's metric.
+    pub efficiencies: Vec<f64>,
+}
+
+impl ReadReplay {
+    /// Mean simulated latency per pattern — Fig. 7a's metric.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.latencies_ms.is_empty() {
+            0.0
+        } else {
+            self.latencies_ms.iter().sum::<f64>() / self.latencies_ms.len() as f64
+        }
+    }
+
+    /// Mean `L′/L`.
+    pub fn mean_efficiency(&self) -> f64 {
+        if self.efficiencies.is_empty() {
+            0.0
+        } else {
+            self.efficiencies.iter().sum::<f64>() / self.efficiencies.len() as f64
+        }
+    }
+}
+
+/// Replays read patterns against a (possibly degraded) volume; each
+/// pattern's reads form one simulator batch.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] on shape mismatches or volume errors.
+pub fn replay_read_patterns(
+    volume: &mut RaidVolume,
+    sim: &mut DiskArray,
+    patterns: &[ReadPattern],
+) -> Result<ReadReplay, ReplayError> {
+    if volume.disks() != sim.disks() {
+        return Err(ReplayError::ShapeMismatch { volume: volume.disks(), sim: sim.disks() });
+    }
+    let mut prev = volume.tally().clone();
+    let mut latencies = Vec::with_capacity(patterns.len());
+    let mut efficiencies = Vec::with_capacity(patterns.len());
+    for pat in patterns {
+        let start = pat.start.min(volume.data_elements().saturating_sub(pat.len));
+        let (_, receipt) = volume.read(start, pat.len)?;
+        let tally = volume.tally();
+        let mut requests = Vec::new();
+        for disk in 0..volume.disks() {
+            let n = tally.reads()[disk] - prev.reads()[disk];
+            requests.extend(std::iter::repeat(disk).take(n as usize));
+        }
+        prev = tally.clone();
+        latencies.push(sim.run_batch(requests)?);
+        efficiencies.push(receipt.reads as f64 / pat.len as f64);
+    }
+    Ok(ReadReplay { latencies_ms: latencies, efficiencies })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disk_sim::DiskProfile;
+    use hv_code::HvCode;
+    use raid_workloads::{degraded_read_patterns, uniform_write_trace};
+    use std::sync::Arc;
+
+    fn setup() -> (RaidVolume, DiskArray) {
+        let v = RaidVolume::new(Arc::new(HvCode::new(7).unwrap()), 5, 8);
+        let sim = DiskArray::new(v.disks(), DiskProfile::savvio_10k());
+        (v, sim)
+    }
+
+    #[test]
+    fn write_replay_accumulates() {
+        let (mut v, mut sim) = setup();
+        let trace = uniform_write_trace(5, 40, v.data_elements() - 5, 3);
+        let out = replay_write_trace(&mut v, &mut sim, &trace).unwrap();
+        assert_eq!(out.patterns, 40);
+        assert_eq!(out.latencies_ms.len(), 40);
+        assert!(out.total_write_requests() >= 40 * 5);
+        assert!(out.lambda() >= 1.0);
+        assert!(out.mean_latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn read_replay_reports_efficiency() {
+        let (mut v, mut sim) = setup();
+        v.fail_disk(2).unwrap();
+        sim.fail_disk(2).unwrap();
+        let pats = degraded_read_patterns(5, 30, v.data_elements() - 5, 9);
+        let out = replay_read_patterns(&mut v, &mut sim, &pats).unwrap();
+        assert_eq!(out.efficiencies.len(), 30);
+        assert!(out.mean_efficiency() >= 1.0);
+        assert!(out.mean_latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let (mut v, _) = setup();
+        let mut wrong = DiskArray::new(3, DiskProfile::savvio_10k());
+        let trace = uniform_write_trace(2, 1, 10, 0);
+        assert!(matches!(
+            replay_write_trace(&mut v, &mut wrong, &trace),
+            Err(ReplayError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_tally_is_a_delta() {
+        let (mut v, mut sim) = setup();
+        // Pre-existing traffic must not leak into the replay's tally.
+        v.write(0, &vec![1u8; 8 * 4]).unwrap();
+        let before = v.tally().total();
+        assert!(before > 0);
+        let trace = uniform_write_trace(2, 5, 20, 1);
+        let out = replay_write_trace(&mut v, &mut sim, &trace).unwrap();
+        assert!(out.tally.total() < v.tally().total());
+    }
+}

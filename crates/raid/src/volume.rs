@@ -1,0 +1,903 @@
+//! The RAID-6 volume: striped storage with partial writes, degraded reads
+//! and reconstruction over any array code.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use raid_core::decoder;
+use raid_core::io::IoTally;
+use raid_core::plan::degraded::{plan_degraded_read, plan_degraded_read_multi};
+use raid_core::plan::single::{plan_single_disk_recovery, SearchStrategy};
+use raid_core::plan::write::{plan_partial_write, write_cost, WriteMode};
+use raid_core::{ArrayCode, Cell, Stripe};
+use raid_math::xor::xor_into;
+
+use crate::addr::Addressing;
+
+/// Errors from volume operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VolumeError {
+    /// Request exceeds the volume's data-element space.
+    OutOfRange {
+        /// First element requested.
+        start: usize,
+        /// Elements requested.
+        len: usize,
+        /// Volume capacity in data elements.
+        capacity: usize,
+    },
+    /// Buffer length does not match `len × element_size`.
+    BadBufferLength {
+        /// Expected byte count.
+        expected: usize,
+        /// Provided byte count.
+        got: usize,
+    },
+    /// A disk index was out of range.
+    NoSuchDisk {
+        /// The offending index.
+        disk: usize,
+    },
+    /// More disks failed than the code tolerates.
+    TooManyFailures {
+        /// Currently failed disk count.
+        failed: usize,
+    },
+}
+
+impl fmt::Display for VolumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VolumeError::OutOfRange { start, len, capacity } => {
+                write!(f, "request [{start}, {}) exceeds capacity {capacity}", start + len)
+            }
+            VolumeError::BadBufferLength { expected, got } => {
+                write!(f, "buffer holds {got} bytes, expected {expected}")
+            }
+            VolumeError::NoSuchDisk { disk } => write!(f, "no disk #{disk}"),
+            VolumeError::TooManyFailures { failed } => {
+                write!(f, "{failed} failed disks exceed RAID-6 tolerance")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VolumeError {}
+
+/// Per-operation I/O receipt (element requests, the paper's unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoReceipt {
+    /// Data-element writes issued.
+    pub data_writes: u64,
+    /// Parity-element writes issued.
+    pub parity_writes: u64,
+    /// Element reads issued.
+    pub reads: u64,
+}
+
+impl IoReceipt {
+    /// Total write requests.
+    pub fn total_writes(&self) -> u64 {
+        self.data_writes + self.parity_writes
+    }
+}
+
+/// A RAID-6 volume striping data elements over a simulated disk array.
+///
+/// ```
+/// use std::sync::Arc;
+/// use hv_code::HvCode;
+/// use raid_array::RaidVolume;
+///
+/// let mut v = RaidVolume::new(Arc::new(HvCode::new(7)?), 4, 16);
+/// v.write(3, &[0xAB; 2 * 16])?;          // two elements at address 3
+/// v.fail_disk(1)?;                        // disk dies
+/// let (bytes, io) = v.read(3, 2)?;        // degraded read still serves
+/// assert_eq!(bytes, vec![0xAB; 32]);
+/// v.rebuild()?;                           // minimum-I/O reconstruction
+/// assert!(v.verify_all());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct RaidVolume {
+    code: Arc<dyn ArrayCode>,
+    addressing: Addressing,
+    element_size: usize,
+    stripes: Vec<Stripe>,
+    failed: BTreeSet<usize>,
+    tally: IoTally,
+}
+
+impl fmt::Debug for RaidVolume {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RaidVolume")
+            .field("code", &self.code.name())
+            .field("stripes", &self.stripes.len())
+            .field("element_size", &self.element_size)
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+impl RaidVolume {
+    /// Creates a zero-filled volume of `stripes` stripes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripes` or `element_size` is zero.
+    pub fn new(code: Arc<dyn ArrayCode>, stripes: usize, element_size: usize) -> Self {
+        Self::with_rotation(code, stripes, element_size, false)
+    }
+
+    /// Like [`RaidVolume::new`] with stripe rotation enabled or disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripes` or `element_size` is zero.
+    pub fn with_rotation(
+        code: Arc<dyn ArrayCode>,
+        stripes: usize,
+        element_size: usize,
+        rotate: bool,
+    ) -> Self {
+        assert!(stripes > 0, "volume needs at least one stripe");
+        assert!(element_size > 0, "element size must be positive");
+        let layout = code.layout();
+        let mut ss: Vec<Stripe> = (0..stripes)
+            .map(|_| Stripe::for_layout(layout, element_size))
+            .collect();
+        for s in &mut ss {
+            s.encode(layout);
+        }
+        let addressing = Addressing::new(layout.num_data_cells(), layout.cols(), rotate);
+        let disks = layout.cols();
+        RaidVolume { code, addressing, element_size, stripes: ss, failed: BTreeSet::new(), tally: IoTally::new(disks) }
+    }
+
+    /// The array code in use.
+    pub fn code(&self) -> &dyn ArrayCode {
+        self.code.as_ref()
+    }
+
+    /// Volume capacity in data elements.
+    pub fn data_elements(&self) -> usize {
+        self.addressing.data_per_stripe() * self.stripes.len()
+    }
+
+    /// Element size in bytes.
+    pub fn element_size(&self) -> usize {
+        self.element_size
+    }
+
+    /// Number of disks.
+    pub fn disks(&self) -> usize {
+        self.code.layout().cols()
+    }
+
+    /// Currently failed disks.
+    pub fn failed_disks(&self) -> Vec<usize> {
+        self.failed.iter().copied().collect()
+    }
+
+    /// Cumulative per-disk I/O tally.
+    pub fn tally(&self) -> &IoTally {
+        &self.tally
+    }
+
+    /// Resets the I/O tally (between experiments).
+    pub fn reset_tally(&mut self) {
+        self.tally = IoTally::new(self.disks());
+    }
+
+    /// Marks a disk failed (its contents become unreadable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolumeError`] if the disk does not exist or a third disk
+    /// would be failed.
+    pub fn fail_disk(&mut self, disk: usize) -> Result<(), VolumeError> {
+        if disk >= self.disks() {
+            return Err(VolumeError::NoSuchDisk { disk });
+        }
+        self.failed.insert(disk);
+        if self.failed.len() > 2 {
+            self.failed.remove(&disk);
+            return Err(VolumeError::TooManyFailures { failed: 3 });
+        }
+        // Model the loss: zero the column in every stripe.
+        for (idx, stripe) in self.stripes.iter_mut().enumerate() {
+            let col = self.addressing.logical_col(idx, disk);
+            stripe.erase_col(col);
+        }
+        Ok(())
+    }
+
+    /// Writes `len` data elements starting at linear element `start`.
+    ///
+    /// On a healthy array this performs the RAID-6 read-modify-write: reads
+    /// old data and parities, writes new data and incrementally updated
+    /// parities. While one or two disks are failed the write is served in
+    /// **degraded mode** (reconstruct-write): each touched stripe is
+    /// decoded in memory, patched, re-encoded, and its surviving columns
+    /// rewritten — the lost columns' logical contents advance too, and the
+    /// next [`RaidVolume::rebuild`] materializes them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolumeError`] on range/length mismatches.
+    pub fn write(&mut self, start: usize, data: &[u8]) -> Result<IoReceipt, VolumeError> {
+        let len = data.len() / self.element_size.max(1);
+        if data.len() != len * self.element_size || data.is_empty() {
+            return Err(VolumeError::BadBufferLength {
+                expected: len.max(1) * self.element_size,
+                got: data.len(),
+            });
+        }
+        self.check_range(start, len)?;
+        if !self.failed.is_empty() {
+            return self.write_degraded(start, len, data);
+        }
+
+        let mut receipt = IoReceipt::default();
+        let mut offset = 0usize;
+        for seg in self.addressing.split(start, len) {
+            let layout = self.code.layout();
+            let plan = plan_partial_write(layout, seg.start, seg.len);
+
+            // Pick the cheaper parity-sourcing strategy: read-modify-write,
+            // reconstruct-write, or (for a covering write) no reads at all.
+            let cost = write_cost(layout, &plan);
+            let reads = match cost.cheaper {
+                WriteMode::Rmw => &cost.rmw_reads,
+                WriteMode::Reconstruct => &cost.reconstruct_reads,
+                WriteMode::FullStripe => &cost.reconstruct_reads, // empty
+            };
+            for c in reads {
+                let disk = self.addressing.physical_disk(seg.stripe, c.col);
+                self.tally.add_reads(disk, 1);
+                receipt.reads += 1;
+            }
+
+            // Apply new data, tracking deltas.
+            let stripe = &mut self.stripes[seg.stripe];
+            let mut deltas: Vec<(Cell, Vec<u8>)> = Vec::with_capacity(seg.len);
+            for (k, &cell) in plan.data_writes.iter().enumerate() {
+                let new = &data[(offset + k) * self.element_size..(offset + k + 1) * self.element_size];
+                let mut delta = stripe.element(cell).to_vec();
+                xor_into(&mut delta, new);
+                stripe.set_element(cell, new);
+                deltas.push((cell, delta));
+            }
+
+            // Incrementally update affected parities in dependency order:
+            // a parity is ready once no still-pending parity is a member of
+            // its chain (parity-into-parity cascades, e.g. RDP).
+            let mut pending: Vec<Cell> = plan.parity_writes.clone();
+            let delta_of = |cell: Cell, deltas: &[(Cell, Vec<u8>)]| {
+                deltas.iter().find(|(c, _)| *c == cell).map(|(_, d)| d.clone())
+            };
+            while !pending.is_empty() {
+                let mut progressed = false;
+                let mut next_pending = Vec::new();
+                for &parity in &pending {
+                    let chain_id = layout.chain_of_parity(parity).expect("parity owns chain");
+                    let chain = layout.chain(chain_id);
+                    if chain.members.iter().any(|m| pending.contains(m) && *m != parity) {
+                        next_pending.push(parity);
+                        continue;
+                    }
+                    // Parity delta = XOR of member deltas.
+                    let mut pdelta = vec![0u8; self.element_size];
+                    let mut touched = false;
+                    for m in &chain.members {
+                        if let Some(d) = delta_of(*m, &deltas) {
+                            xor_into(&mut pdelta, &d);
+                            touched = true;
+                        }
+                    }
+                    debug_assert!(touched, "parity {parity} scheduled without member change");
+                    let mut newv = stripe.element(parity).to_vec();
+                    xor_into(&mut newv, &pdelta);
+                    stripe.set_element(parity, &newv);
+                    deltas.push((parity, pdelta));
+                    progressed = true;
+                }
+                assert!(progressed, "cyclic parity dependency during write");
+                pending = next_pending;
+            }
+
+            // Write I/O.
+            for c in &plan.data_writes {
+                let disk = self.addressing.physical_disk(seg.stripe, c.col);
+                self.tally.add_writes(disk, 1);
+                receipt.data_writes += 1;
+            }
+            for c in &plan.parity_writes {
+                let disk = self.addressing.physical_disk(seg.stripe, c.col);
+                self.tally.add_writes(disk, 1);
+                receipt.parity_writes += 1;
+            }
+            offset += seg.len;
+        }
+        Ok(receipt)
+    }
+
+    /// Degraded-mode write: reconstruct-patch-reencode each touched stripe
+    /// and rewrite its surviving columns.
+    fn write_degraded(
+        &mut self,
+        start: usize,
+        len: usize,
+        data: &[u8],
+    ) -> Result<IoReceipt, VolumeError> {
+        if self.failed.len() > 2 {
+            return Err(VolumeError::TooManyFailures { failed: self.failed.len() });
+        }
+        let mut receipt = IoReceipt::default();
+        let mut offset = 0usize;
+        for seg in self.addressing.split(start, len) {
+            let layout = self.code.layout();
+            let failed_cols: Vec<usize> = self
+                .failed
+                .iter()
+                .map(|&d| self.addressing.logical_col(seg.stripe, d))
+                .collect();
+
+            // Reconstruct the stripe in memory (reads every surviving
+            // element once).
+            let mut lost: Vec<Cell> = Vec::new();
+            for &col in &failed_cols {
+                lost.extend(layout.cells_in_col(col));
+            }
+            let mut scratch = self.stripes[seg.stripe].clone();
+            decoder::decode(&mut scratch, layout, &lost)
+                .expect("RAID-6 code repairs up to two columns");
+            for col in 0..layout.cols() {
+                if failed_cols.contains(&col) {
+                    continue;
+                }
+                let disk = self.addressing.physical_disk(seg.stripe, col);
+                self.tally.add_reads(disk, layout.rows() as u64);
+                receipt.reads += layout.rows() as u64;
+            }
+
+            // Patch the data elements and re-encode.
+            let cells = &layout.data_cells()[seg.start..seg.start + seg.len];
+            for (k, &cell) in cells.iter().enumerate() {
+                let bytes =
+                    &data[(offset + k) * self.element_size..(offset + k + 1) * self.element_size];
+                scratch.set_element(cell, bytes);
+            }
+            scratch.encode(layout);
+
+            // Store surviving columns; keep failed columns erased on disk.
+            for col in 0..layout.cols() {
+                if failed_cols.contains(&col) {
+                    continue;
+                }
+                for row in 0..layout.rows() {
+                    let cell = Cell::new(row, col);
+                    let value = scratch.element(cell).to_vec();
+                    self.stripes[seg.stripe].set_element(cell, &value);
+                }
+            }
+
+            // Write accounting: patched data cells + every surviving parity
+            // (reconstruct-write renews them all).
+            for &cell in cells {
+                if !failed_cols.contains(&cell.col) {
+                    let disk = self.addressing.physical_disk(seg.stripe, cell.col);
+                    self.tally.add_writes(disk, 1);
+                    receipt.data_writes += 1;
+                }
+            }
+            for col in 0..layout.cols() {
+                if failed_cols.contains(&col) {
+                    continue;
+                }
+                for parity in layout.parities_in_col(col) {
+                    let disk = self.addressing.physical_disk(seg.stripe, parity.col);
+                    self.tally.add_writes(disk, 1);
+                    receipt.parity_writes += 1;
+                }
+            }
+            offset += seg.len;
+        }
+        Ok(receipt)
+    }
+
+    /// Reads `len` data elements starting at `start`, serving through
+    /// reconstruction when requested elements live on failed disks (the
+    /// degraded read of the paper's Section V-B).
+    ///
+    /// Returns the bytes and the I/O receipt; `receipt.reads` is the
+    /// paper's `L'`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolumeError`] on bad ranges.
+    pub fn read(&mut self, start: usize, len: usize) -> Result<(Vec<u8>, IoReceipt), VolumeError> {
+        self.check_range(start, len)?;
+        let mut receipt = IoReceipt::default();
+        let mut out = Vec::with_capacity(len * self.element_size);
+
+        for seg in self.addressing.split(start, len) {
+            let layout = self.code.layout();
+            let requested: Vec<Cell> =
+                layout.data_cells()[seg.start..seg.start + seg.len].to_vec();
+            let failed_cols: Vec<usize> = self
+                .failed
+                .iter()
+                .map(|&d| self.addressing.logical_col(seg.stripe, d))
+                .collect();
+
+            let any_lost = requested.iter().any(|c| failed_cols.contains(&c.col));
+            if !any_lost {
+                for &cell in &requested {
+                    let disk = self.addressing.physical_disk(seg.stripe, cell.col);
+                    self.tally.add_reads(disk, 1);
+                    receipt.reads += 1;
+                    out.extend_from_slice(self.stripes[seg.stripe].element(cell));
+                }
+                continue;
+            }
+
+            match failed_cols.len() {
+                1 => {
+                    let plan = plan_degraded_read(layout, failed_cols[0], &requested);
+                    for &cell in &plan.fetched {
+                        let disk = self.addressing.physical_disk(seg.stripe, cell.col);
+                        self.tally.add_reads(disk, 1);
+                        receipt.reads += 1;
+                    }
+                    // Reconstruct lost elements in a scratch copy and serve.
+                    let mut scratch = self.stripes[seg.stripe].clone();
+                    for (cell, chain_id) in &plan.repairs {
+                        let sources: Vec<Cell> = layout
+                            .chain(*chain_id)
+                            .cells()
+                            .filter(|c| c != cell)
+                            .collect();
+                        let value = scratch.xor_of(sources);
+                        scratch.set_element(*cell, &value);
+                    }
+                    for &cell in &requested {
+                        out.extend_from_slice(scratch.element(cell));
+                    }
+                }
+                2 => {
+                    // Double-degraded read: reconstruct only the requested
+                    // cells' dependency slice instead of both columns.
+                    let plan = plan_degraded_read_multi(layout, &failed_cols, &requested)
+                        .expect("RAID-6 code repairs any two columns");
+                    for cell in &plan.fetched {
+                        let disk = self.addressing.physical_disk(seg.stripe, cell.col);
+                        self.tally.add_reads(disk, 1);
+                        receipt.reads += 1;
+                    }
+                    let mut scratch = self.stripes[seg.stripe].clone();
+                    for step in &plan.steps {
+                        let value = scratch.xor_of(step.sources.iter().copied());
+                        scratch.set_element(step.target, &value);
+                    }
+                    for &cell in &requested {
+                        out.extend_from_slice(scratch.element(cell));
+                    }
+                }
+                n => return Err(VolumeError::TooManyFailures { failed: n }),
+            }
+        }
+        Ok((out, receipt))
+    }
+
+    /// Rebuilds every failed disk in place (single-disk hybrid recovery or
+    /// generic double-disk decode) and marks them healthy again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolumeError::TooManyFailures`] if more than two disks are
+    /// failed (cannot happen through this API).
+    pub fn rebuild(&mut self) -> Result<IoReceipt, VolumeError> {
+        let mut receipt = IoReceipt::default();
+        let failed: Vec<usize> = self.failed.iter().copied().collect();
+        match failed.len() {
+            0 => {}
+            1 => {
+                for idx in 0..self.stripes.len() {
+                    let col = self.addressing.logical_col(idx, failed[0]);
+                    let layout = self.code.layout();
+                    let plan =
+                        plan_single_disk_recovery(layout, col, SearchStrategy::Auto);
+                    for &cell in &plan.reads {
+                        let disk = self.addressing.physical_disk(idx, cell.col);
+                        self.tally.add_reads(disk, 1);
+                        receipt.reads += 1;
+                    }
+                    let stripe = &mut self.stripes[idx];
+                    for (cell, chain_id) in &plan.choices {
+                        let sources: Vec<Cell> = layout
+                            .chain(*chain_id)
+                            .cells()
+                            .filter(|c| c != cell)
+                            .collect();
+                        let value = stripe.xor_of(sources);
+                        stripe.set_element(*cell, &value);
+                        self.tally.add_writes(failed[0], 1);
+                        if layout.is_data(*cell) {
+                            receipt.data_writes += 1;
+                        } else {
+                            receipt.parity_writes += 1;
+                        }
+                    }
+                }
+            }
+            2 => {
+                for idx in 0..self.stripes.len() {
+                    let layout = self.code.layout();
+                    let c1 = self.addressing.logical_col(idx, failed[0]);
+                    let c2 = self.addressing.logical_col(idx, failed[1]);
+                    let mut lost = layout.cells_in_col(c1);
+                    lost.extend(layout.cells_in_col(c2));
+                    // Double recovery fetches every surviving element.
+                    for col in 0..layout.cols() {
+                        if col == c1 || col == c2 {
+                            continue;
+                        }
+                        let disk = self.addressing.physical_disk(idx, col);
+                        self.tally.add_reads(disk, layout.rows() as u64);
+                        receipt.reads += layout.rows() as u64;
+                    }
+                    let stripe = &mut self.stripes[idx];
+                    decoder::decode(stripe, layout, &lost)
+                        .expect("RAID-6 code repairs any two columns");
+                    for &cell in &lost {
+                        let disk = self.addressing.physical_disk(idx, cell.col);
+                        self.tally.add_writes(disk, 1);
+                        if layout.is_data(cell) {
+                            receipt.data_writes += 1;
+                        } else {
+                            receipt.parity_writes += 1;
+                        }
+                    }
+                }
+            }
+            n => return Err(VolumeError::TooManyFailures { failed: n }),
+        }
+        self.failed.clear();
+        Ok(receipt)
+    }
+
+    /// Verifies every stripe's parity consistency.
+    pub fn verify_all(&self) -> bool {
+        let layout = self.code.layout();
+        self.stripes.iter().all(|s| s.verify(layout).is_none())
+    }
+
+    /// Scrubs every stripe: detects silently corrupted elements from the
+    /// pattern of violated parity chains and repairs them in place
+    /// (see [`raid_core::scrub`]). Requires a healthy array — scrubbing a
+    /// degraded volume cannot distinguish corruption from loss.
+    ///
+    /// Returns one report per stripe that was *not* clean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolumeError::TooManyFailures`] if any disk is failed.
+    pub fn scrub(&mut self) -> Result<Vec<(usize, raid_core::scrub::ScrubReport)>, VolumeError> {
+        if !self.failed.is_empty() {
+            return Err(VolumeError::TooManyFailures { failed: self.failed.len() });
+        }
+        let layout = self.code.layout();
+        let mut findings = Vec::new();
+        for (idx, stripe) in self.stripes.iter_mut().enumerate() {
+            let report = raid_core::scrub::scrub(stripe, layout);
+            if report != raid_core::scrub::ScrubReport::Clean {
+                findings.push((idx, report));
+            }
+        }
+        Ok(findings)
+    }
+
+    /// Migrates every data element onto a fresh volume built on a
+    /// different (or identical) code — the restriping path used when an
+    /// operator changes coding schemes. The source may be degraded (data
+    /// is recovered on the fly through degraded reads); the target is
+    /// sized with exactly enough stripes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolumeError`] if the source is beyond its failure
+    /// tolerance.
+    pub fn migrate_to(&mut self, code: Arc<dyn ArrayCode>) -> Result<RaidVolume, VolumeError> {
+        let elements = self.data_elements();
+        let per_stripe = code.layout().num_data_cells();
+        let stripes = elements.div_ceil(per_stripe);
+        let mut target = RaidVolume::with_rotation(
+            code,
+            stripes,
+            self.element_size,
+            self.addressing.rotates(),
+        );
+        // Stream stripe-sized extents; degraded sources reconstruct as
+        // they go.
+        let chunk = per_stripe.max(1);
+        let mut at = 0usize;
+        while at < elements {
+            let n = chunk.min(elements - at);
+            let (bytes, _) = self.read(at, n)?;
+            target.write(at, &bytes)?;
+            at += n;
+        }
+        Ok(target)
+    }
+
+    /// Corrupts one byte of an element — test/chaos-engineering hook used
+    /// by the scrub example and the failure-injection tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stripe index or cell is out of range.
+    pub fn inject_corruption(&mut self, stripe: usize, cell: Cell, byte: usize) {
+        let buf = self.stripes[stripe].element_mut(cell);
+        buf[byte % buf.len()] ^= 0x80;
+    }
+
+    fn check_range(&self, start: usize, len: usize) -> Result<(), VolumeError> {
+        if start + len > self.data_elements() {
+            return Err(VolumeError::OutOfRange { start, len, capacity: self.data_elements() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hv_code::HvCode;
+    use raid_baselines::{HCode, RdpCode, XCode};
+
+    fn volume(rotate: bool) -> RaidVolume {
+        RaidVolume::with_rotation(Arc::new(HvCode::new(7).unwrap()), 4, 16, rotate)
+    }
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut v = volume(false);
+        let buf = pattern(5 * 16, 3);
+        let receipt = v.write(7, &buf).unwrap();
+        assert_eq!(receipt.data_writes, 5);
+        assert!(receipt.parity_writes > 0);
+        assert!(v.verify_all(), "incremental parity update must match re-encode");
+        let (out, _) = v.read(7, 5).unwrap();
+        assert_eq!(out, buf);
+    }
+
+    #[test]
+    fn writes_crossing_stripes_stay_consistent() {
+        let mut v = volume(false);
+        let per_stripe = v.addressing.data_per_stripe();
+        let buf = pattern(6 * 16, 9);
+        v.write(per_stripe - 3, &buf).unwrap();
+        assert!(v.verify_all());
+        let (out, _) = v.read(per_stripe - 3, 6).unwrap();
+        assert_eq!(out, buf);
+    }
+
+    #[test]
+    fn degraded_read_returns_true_bytes() {
+        let mut v = volume(false);
+        let buf = pattern(10 * 16, 5);
+        v.write(0, &buf).unwrap();
+        for disk in 0..v.disks() {
+            let mut broken = volume(false);
+            broken.write(0, &buf).unwrap();
+            broken.fail_disk(disk).unwrap();
+            let (out, receipt) = broken.read(0, 10).unwrap();
+            assert_eq!(out, buf, "disk {disk}");
+            assert!(receipt.reads >= 10, "disk {disk}");
+        }
+    }
+
+    #[test]
+    fn double_failure_rebuild_restores_everything() {
+        let mut v = volume(false);
+        let buf = pattern(v.data_elements() * 16, 7);
+        v.write(0, &buf).unwrap();
+        v.fail_disk(1).unwrap();
+        v.fail_disk(4).unwrap();
+        let receipt = v.rebuild().unwrap();
+        assert!(receipt.total_writes() > 0);
+        assert!(v.verify_all());
+        let (out, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(out, buf);
+    }
+
+    #[test]
+    fn single_failure_rebuild_uses_hybrid_plan() {
+        let mut v = volume(false);
+        let buf = pattern(v.data_elements() * 16, 11);
+        v.write(0, &buf).unwrap();
+        v.fail_disk(3).unwrap();
+        let receipt = v.rebuild().unwrap();
+        assert!(v.verify_all());
+        let (out, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(out, buf);
+        // Hybrid recovery reads fewer elements than fetching everything.
+        let all = (v.disks() - 1) * v.code.layout().rows() * 4;
+        assert!((receipt.reads as usize) < all);
+    }
+
+    #[test]
+    fn rotation_preserves_correctness() {
+        let mut v = volume(true);
+        let buf = pattern(v.data_elements() * 16, 13);
+        v.write(0, &buf).unwrap();
+        v.fail_disk(2).unwrap();
+        let (out, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(out, buf);
+        v.rebuild().unwrap();
+        assert!(v.verify_all());
+    }
+
+    #[test]
+    fn works_across_codes() {
+        let codes: Vec<Arc<dyn ArrayCode>> = vec![
+            Arc::new(HvCode::new(7).unwrap()),
+            Arc::new(RdpCode::new(7).unwrap()),
+            Arc::new(XCode::new(7).unwrap()),
+            Arc::new(HCode::new(7).unwrap()),
+        ];
+        for code in codes {
+            let name = code.name().to_string();
+            let mut v = RaidVolume::new(code, 3, 8);
+            let buf = pattern(v.data_elements() * 8, 17);
+            v.write(0, &buf).unwrap();
+            assert!(v.verify_all(), "{name}");
+            v.fail_disk(0).unwrap();
+            v.fail_disk(2).unwrap();
+            v.rebuild().unwrap();
+            let (out, _) = v.read(0, v.data_elements()).unwrap();
+            assert_eq!(out, buf, "{name}");
+        }
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut v = volume(false);
+        assert!(matches!(
+            v.read(v.data_elements(), 1),
+            Err(VolumeError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            v.write(0, &[1, 2, 3]),
+            Err(VolumeError::BadBufferLength { .. })
+        ));
+        assert!(matches!(v.fail_disk(99), Err(VolumeError::NoSuchDisk { disk: 99 })));
+        v.fail_disk(0).unwrap();
+        v.fail_disk(1).unwrap();
+        assert!(matches!(v.fail_disk(2), Err(VolumeError::TooManyFailures { .. })));
+    }
+
+    #[test]
+    fn degraded_writes_survive_rebuild() {
+        for failures in [vec![3usize], vec![0, 4]] {
+            let mut v = volume(false);
+            let initial = pattern(v.data_elements() * 16, 21);
+            v.write(0, &initial).unwrap();
+            for &d in &failures {
+                v.fail_disk(d).unwrap();
+            }
+
+            // Overwrite a window while degraded.
+            let patch = pattern(9 * 16, 99);
+            let receipt = v.write(5, &patch).unwrap();
+            assert!(receipt.reads > 0 && receipt.total_writes() > 0);
+
+            // Degraded read sees the new bytes immediately.
+            let (now, _) = v.read(5, 9).unwrap();
+            assert_eq!(now, patch, "degraded read after degraded write");
+
+            // Rebuild materializes the failed disks consistently.
+            v.rebuild().unwrap();
+            assert!(v.verify_all(), "failures {failures:?}");
+            let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+            let mut expect = initial.clone();
+            expect[5 * 16..14 * 16].copy_from_slice(&patch);
+            assert_eq!(bytes, expect, "failures {failures:?}");
+        }
+    }
+
+    #[test]
+    fn double_degraded_small_reads_fetch_a_slice_not_everything() {
+        let mut v = volume(false);
+        let data = pattern(v.data_elements() * 16, 41);
+        v.write(0, &data).unwrap();
+        v.fail_disk(0).unwrap();
+        v.fail_disk(3).unwrap();
+        v.reset_tally();
+        // Read one element that lives on a failed disk.
+        let lost_ordinal = v
+            .code()
+            .layout()
+            .data_cells()
+            .iter()
+            .position(|c| c.col == 0)
+            .unwrap();
+        let (bytes, receipt) = v.read(lost_ordinal, 1).unwrap();
+        assert_eq!(bytes, data[lost_ordinal * 16..(lost_ordinal + 1) * 16]);
+        // Full scan would read (disks − 2) × rows = 4 × 6 = 24 elements;
+        // the targeted slice must be strictly cheaper.
+        let full_scan = (v.disks() - 2) * v.code().layout().rows();
+        assert!(
+            (receipt.reads as usize) < full_scan,
+            "targeted read used {} reads, full scan is {full_scan}",
+            receipt.reads
+        );
+    }
+
+    #[test]
+    fn scrub_finds_and_fixes_injected_corruption() {
+        let mut v = volume(false);
+        let data = pattern(v.data_elements() * 16, 31);
+        v.write(0, &data).unwrap();
+        assert!(v.scrub().unwrap().is_empty(), "clean volume must scrub clean");
+
+        v.inject_corruption(1, Cell::new(2, 3), 7);
+        v.inject_corruption(3, Cell::new(0, 0), 0);
+        assert!(!v.verify_all());
+        let findings = v.scrub().unwrap();
+        assert_eq!(findings.len(), 2);
+        for (stripe, report) in &findings {
+            assert!(
+                matches!(report, raid_core::scrub::ScrubReport::Repaired { .. }),
+                "stripe {stripe}: {report:?}"
+            );
+        }
+        assert!(v.verify_all());
+        let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(bytes, data);
+    }
+
+    #[test]
+    fn scrub_requires_healthy_array() {
+        let mut v = volume(false);
+        v.fail_disk(0).unwrap();
+        assert!(matches!(v.scrub(), Err(VolumeError::TooManyFailures { .. })));
+    }
+
+    #[test]
+    fn migration_between_codes_preserves_data() {
+        let mut src = volume(false); // HV p=7
+        let data = pattern(src.data_elements() * 16, 61);
+        src.write(0, &data).unwrap();
+
+        // Migrate to RDP — even while the source is degraded.
+        src.fail_disk(2).unwrap();
+        let mut dst = src
+            .migrate_to(Arc::new(RdpCode::new(5).unwrap()))
+            .unwrap();
+        assert!(dst.verify_all());
+        assert!(dst.data_elements() >= src.data_elements());
+        let (bytes, _) = dst.read(0, src.data_elements()).unwrap();
+        assert_eq!(bytes, data);
+
+        // And back to HV.
+        let mut back = dst.migrate_to(Arc::new(HvCode::new(7).unwrap())).unwrap();
+        let (bytes, _) = back.read(0, src.data_elements()).unwrap();
+        assert_eq!(&bytes[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn tally_accumulates_and_resets() {
+        let mut v = volume(false);
+        v.write(0, &pattern(3 * 16, 1)).unwrap();
+        assert!(v.tally().total_writes() > 0);
+        assert!(v.tally().total_reads() > 0);
+        v.reset_tally();
+        assert_eq!(v.tally().total(), 0);
+    }
+}

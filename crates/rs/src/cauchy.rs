@@ -1,0 +1,251 @@
+//! Cauchy Reed–Solomon: a systematic `(k, m)` erasure code whose parity
+//! matrix is a Cauchy matrix, so **every** square submatrix is invertible
+//! and any `m` erasures are repairable. For `m = 2` this is the Cauchy
+//! RAID-6 of the paper's Section II.
+
+use raid_math::gf256;
+
+use crate::matrix::{cauchy_matrix, Matrix};
+use crate::RsError;
+
+/// A systematic Cauchy Reed–Solomon code with `k` data and `m` parity
+/// shards.
+///
+/// ```
+/// use raid_rs::CauchyRs;
+///
+/// let code = CauchyRs::new(5, 3)?; // tolerates any 3 erasures
+/// let data: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8; 8]).collect();
+/// let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+/// let mut shards = data.clone();
+/// shards.extend(code.encode(&refs)?);
+/// for i in [0usize, 4, 6] {
+///     shards[i].fill(0);
+/// }
+/// code.reconstruct(&mut shards, &[0, 4, 6])?;
+/// assert_eq!(&shards[..5], &data[..]);
+/// # Ok::<(), raid_rs::RsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CauchyRs {
+    k: usize,
+    m: usize,
+    /// The `m × k` parity-generator (Cauchy) matrix.
+    gen: Matrix,
+}
+
+impl CauchyRs {
+    /// Builds the code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::BadShape`] if `k = 0`, `m = 0` or `k + m > 256`.
+    pub fn new(k: usize, m: usize) -> Result<Self, RsError> {
+        if k == 0 || m == 0 || k + m > 256 {
+            return Err(RsError::BadShape { data: k, parity: m });
+        }
+        Ok(CauchyRs { k, m, gen: cauchy_matrix(m, k) })
+    }
+
+    /// RAID-6 shape: `m = 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::BadShape`] if `k` is out of range.
+    pub fn raid6(k: usize) -> Result<Self, RsError> {
+        CauchyRs::new(k, 2)
+    }
+
+    /// Number of data shards.
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity shards.
+    pub fn parity_shards(&self) -> usize {
+        self.m
+    }
+
+    /// Encodes parity shards from data shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError`] on inconsistent shard counts or lengths.
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, RsError> {
+        if data.len() != self.k {
+            return Err(RsError::BadShape { data: data.len(), parity: self.m });
+        }
+        let len = data[0].len();
+        if data.iter().any(|s| s.len() != len) {
+            return Err(RsError::ShardLenMismatch);
+        }
+        let mut parities = vec![vec![0u8; len]; self.m];
+        for (row, parity) in parities.iter_mut().enumerate() {
+            for (j, shard) in data.iter().enumerate() {
+                gf256::mul_acc_slice(self.gen.get(row, j), shard, parity);
+            }
+        }
+        Ok(parities)
+    }
+
+    /// Reconstructs every erased shard in place.
+    ///
+    /// `shards` is `[D_0..D_{k−1}, C_0..C_{m−1}]`; `lost` lists erased
+    /// indices into that array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::TooManyErasures`] if `lost.len() > m`, or shape
+    /// errors.
+    pub fn reconstruct(&self, shards: &mut [Vec<u8>], lost: &[usize]) -> Result<(), RsError> {
+        let (k, m) = (self.k, self.m);
+        if shards.len() != k + m {
+            return Err(RsError::BadShape { data: shards.len(), parity: m });
+        }
+        let len = shards[0].len();
+        if shards.iter().any(|s| s.len() != len) {
+            return Err(RsError::ShardLenMismatch);
+        }
+        if lost.len() > m {
+            return Err(RsError::TooManyErasures { lost: lost.len(), capability: m });
+        }
+        for &i in lost {
+            if i >= k + m {
+                return Err(RsError::BadIndex { index: i });
+            }
+        }
+        let lost_data: Vec<usize> = lost.iter().copied().filter(|&i| i < k).collect();
+        let lost_parity: Vec<usize> = lost.iter().copied().filter(|&i| i >= k).collect();
+
+        if !lost_data.is_empty() {
+            // Pick |lost_data| surviving parity rows and solve for the
+            // missing data shards.
+            let rows: Vec<usize> = (0..m)
+                .filter(|&r| !lost_parity.contains(&(k + r)))
+                .take(lost_data.len())
+                .collect();
+            if rows.len() < lost_data.len() {
+                return Err(RsError::TooManyErasures { lost: lost.len(), capability: m });
+            }
+            // System: for each chosen parity row r:
+            //   Σ_{x in lost_data} gen[r][x]·D_x = C_r ^ Σ_{surviving j} gen[r][j]·D_j
+            let a = Matrix::from_fn(lost_data.len(), lost_data.len(), |ri, ci| {
+                self.gen.get(rows[ri], lost_data[ci])
+            });
+            let ainv = a.inverse().expect("Cauchy submatrices are invertible");
+
+            // Right-hand sides.
+            let mut rhs: Vec<Vec<u8>> = Vec::with_capacity(rows.len());
+            for &r in &rows {
+                let mut acc = shards[k + r].clone();
+                for j in 0..k {
+                    if !lost_data.contains(&j) {
+                        gf256::mul_acc_slice(self.gen.get(r, j), &shards[j], &mut acc);
+                    }
+                }
+                rhs.push(acc);
+            }
+            // D = A⁻¹ · rhs.
+            for (ri, &x) in lost_data.iter().enumerate() {
+                let mut out = vec![0u8; len];
+                for (ci, r) in rhs.iter().enumerate() {
+                    gf256::mul_acc_slice(ainv.get(ri, ci), r, &mut out);
+                }
+                shards[x] = out;
+            }
+        }
+
+        // Recompute lost parities from (now complete) data.
+        if !lost_parity.is_empty() {
+            let parities = {
+                let data: Vec<&[u8]> = shards[..k].iter().map(|v| v.as_slice()).collect();
+                self.encode(&data)?
+            };
+            for &i in &lost_parity {
+                shards[i] = parities[i - k].clone();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripe(k: usize, m: usize, len: usize) -> (CauchyRs, Vec<Vec<u8>>) {
+        let code = CauchyRs::new(k, m).unwrap();
+        let mut shards: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|b| (i * 37 + b * 11 + 5) as u8).collect())
+            .collect();
+        let parities = {
+            let refs: Vec<&[u8]> = shards.iter().map(|v| v.as_slice()).collect();
+            code.encode(&refs).unwrap()
+        };
+        shards.extend(parities);
+        (code, shards)
+    }
+
+    #[test]
+    fn raid6_all_pairs_recover() {
+        let k = 7;
+        let (code, pristine) = stripe(k, 2, 40);
+        let n = k + 2;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let mut s = pristine.clone();
+                s[a].fill(0);
+                s[b].fill(0);
+                code.reconstruct(&mut s, &[a, b]).unwrap();
+                assert_eq!(s, pristine, "lost ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_parity_counts_work() {
+        // m = 3 tolerates any 3 losses — beyond RAID-6, shows generality.
+        let (code, pristine) = stripe(5, 3, 16);
+        let n = 8;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let mut s = pristine.clone();
+                    for &i in &[a, b, c] {
+                        s[i].fill(0);
+                    }
+                    code.reconstruct(&mut s, &[a, b, c]).unwrap();
+                    assert_eq!(s, pristine, "lost ({a},{b},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_and_capability_errors() {
+        assert!(CauchyRs::new(0, 2).is_err());
+        assert!(CauchyRs::new(255, 2).is_err());
+        assert!(CauchyRs::new(254, 2).is_ok());
+        let (code, mut shards) = stripe(4, 2, 8);
+        assert!(matches!(
+            code.reconstruct(&mut shards, &[0, 1, 2]),
+            Err(RsError::TooManyErasures { .. })
+        ));
+        assert!(matches!(
+            code.reconstruct(&mut shards, &[99]),
+            Err(RsError::BadIndex { index: 99 })
+        ));
+    }
+
+    #[test]
+    fn agrees_with_pq_on_erasure_capability() {
+        // Both are MDS RAID-6 codes: same storage efficiency, same
+        // two-erasure tolerance (sanity cross-check between constructions).
+        let (code, pristine) = stripe(6, 2, 24);
+        let mut s = pristine.clone();
+        s[0].fill(0);
+        s[7].fill(0); // one data + second parity
+        code.reconstruct(&mut s, &[0, 7]).unwrap();
+        assert_eq!(s, pristine);
+    }
+}

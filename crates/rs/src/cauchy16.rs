@@ -1,0 +1,301 @@
+//! Cauchy Reed–Solomon over `GF(2^16)` — the wide-array variant.
+//!
+//! `GF(2^8)` runs out of evaluation points at 256 shards; storage systems
+//! that stripe across hundreds of devices (or that shorten a huge virtual
+//! code) move to `GF(2^16)`, at the price of multiplication without full
+//! tables. Elements are interpreted as little-endian `u16` lanes; shard
+//! buffers must have even length.
+
+use raid_math::gf2e;
+
+use crate::RsError;
+
+/// A systematic Cauchy Reed–Solomon code over `GF(2^16)` with `k` data and
+/// `m` parity shards.
+///
+/// ```
+/// use raid_rs::cauchy16::CauchyRs16;
+///
+/// let code = CauchyRs16::new(300, 2)?; // wider than GF(256) allows
+/// let data: Vec<Vec<u8>> = (0..300).map(|i| vec![(i % 251) as u8; 8]).collect();
+/// let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+/// let mut shards = data.clone();
+/// shards.extend(code.encode(&refs)?);
+/// shards[0].fill(0);
+/// shards[299].fill(0);
+/// code.reconstruct(&mut shards, &[0, 299])?;
+/// assert_eq!(&shards[..300], &data[..]);
+/// # Ok::<(), raid_rs::RsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CauchyRs16 {
+    k: usize,
+    m: usize,
+}
+
+impl CauchyRs16 {
+    /// Builds the code; requires `k, m ≥ 1` and `k + m ≤ 65536`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::BadShape`] outside that range.
+    pub fn new(k: usize, m: usize) -> Result<Self, RsError> {
+        if k == 0 || m == 0 || k + m > 1 << 16 {
+            return Err(RsError::BadShape { data: k, parity: m });
+        }
+        Ok(CauchyRs16 { k, m })
+    }
+
+    /// Number of data shards.
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity shards.
+    pub fn parity_shards(&self) -> usize {
+        self.m
+    }
+
+    /// Generator coefficient `C[r][j] = 1/(x_r + y_j)` with `x_r = r`,
+    /// `y_j = m + j`.
+    fn coeff(&self, r: usize, j: usize) -> u16 {
+        gf2e::inv((r as u16) ^ ((self.m + j) as u16))
+    }
+
+    /// Encodes the parity shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError`] on inconsistent shard counts, mismatched or odd
+    /// lengths.
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, RsError> {
+        self.check(data.len(), data.first().map_or(0, |s| s.len()))?;
+        if data.iter().any(|s| s.len() != data[0].len()) {
+            return Err(RsError::ShardLenMismatch);
+        }
+        let len = data[0].len();
+        let mut parities = vec![vec![0u8; len]; self.m];
+        for (r, parity) in parities.iter_mut().enumerate() {
+            for (j, shard) in data.iter().enumerate() {
+                mul_acc_u16(self.coeff(r, j), shard, parity);
+            }
+        }
+        Ok(parities)
+    }
+
+    /// Reconstructs erased shards in place (`shards = [D.., C..]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::TooManyErasures`] when `lost.len() > m`, and
+    /// shape errors.
+    pub fn reconstruct(&self, shards: &mut [Vec<u8>], lost: &[usize]) -> Result<(), RsError> {
+        let (k, m) = (self.k, self.m);
+        if shards.len() != k + m {
+            return Err(RsError::BadShape { data: shards.len(), parity: m });
+        }
+        let len = shards[0].len();
+        self.check(k, len)?;
+        if shards.iter().any(|s| s.len() != len) {
+            return Err(RsError::ShardLenMismatch);
+        }
+        if lost.len() > m {
+            return Err(RsError::TooManyErasures { lost: lost.len(), capability: m });
+        }
+        for &i in lost {
+            if i >= k + m {
+                return Err(RsError::BadIndex { index: i });
+            }
+        }
+        let lost_data: Vec<usize> = lost.iter().copied().filter(|&i| i < k).collect();
+        let lost_parity: Vec<usize> = lost.iter().copied().filter(|&i| i >= k).collect();
+
+        if !lost_data.is_empty() {
+            let rows: Vec<usize> = (0..m)
+                .filter(|&r| !lost_parity.contains(&(k + r)))
+                .take(lost_data.len())
+                .collect();
+            if rows.len() < lost_data.len() {
+                return Err(RsError::TooManyErasures { lost: lost.len(), capability: m });
+            }
+            // Invert the small system over GF(2^16) by Gauss-Jordan.
+            let nu = lost_data.len();
+            let mut a: Vec<Vec<u16>> = rows
+                .iter()
+                .map(|&r| lost_data.iter().map(|&x| self.coeff(r, x)).collect())
+                .collect();
+            let mut inv: Vec<Vec<u16>> = (0..nu)
+                .map(|i| (0..nu).map(|j| u16::from(i == j)).collect())
+                .collect();
+            for col in 0..nu {
+                let pivot = (col..nu)
+                    .find(|&r| a[r][col] != 0)
+                    .expect("Cauchy submatrices are invertible");
+                a.swap(col, pivot);
+                inv.swap(col, pivot);
+                let pinv = gf2e::inv(a[col][col]);
+                for c in 0..nu {
+                    a[col][c] = gf2e::mul(a[col][c], pinv);
+                    inv[col][c] = gf2e::mul(inv[col][c], pinv);
+                }
+                for r in 0..nu {
+                    if r == col || a[r][col] == 0 {
+                        continue;
+                    }
+                    let f = a[r][col];
+                    for c in 0..nu {
+                        a[r][c] ^= gf2e::mul(f, a[col][c]);
+                        inv[r][c] ^= gf2e::mul(f, inv[col][c]);
+                    }
+                }
+            }
+
+            // rhs_r = C_r ^ Σ_{surviving j} coeff(r,j)·D_j
+            let mut rhs: Vec<Vec<u8>> = Vec::with_capacity(rows.len());
+            for &r in &rows {
+                let mut acc = shards[k + r].clone();
+                for j in 0..k {
+                    if !lost_data.contains(&j) {
+                        let c = self.coeff(r, j);
+                        let src = shards[j].clone();
+                        mul_acc_u16(c, &src, &mut acc);
+                    }
+                }
+                rhs.push(acc);
+            }
+            for (ri, &x) in lost_data.iter().enumerate() {
+                let mut out = vec![0u8; len];
+                for (ci, r) in rhs.iter().enumerate() {
+                    mul_acc_u16(inv[ri][ci], r, &mut out);
+                }
+                shards[x] = out;
+            }
+        }
+
+        if !lost_parity.is_empty() {
+            let parities = {
+                let data: Vec<&[u8]> = shards[..k].iter().map(|v| v.as_slice()).collect();
+                self.encode(&data)?
+            };
+            for &i in &lost_parity {
+                shards[i] = parities[i - k].clone();
+            }
+        }
+        Ok(())
+    }
+
+    fn check(&self, shard_count: usize, len: usize) -> Result<(), RsError> {
+        if shard_count != self.k {
+            return Err(RsError::BadShape { data: shard_count, parity: self.m });
+        }
+        if len % 2 != 0 {
+            return Err(RsError::ShardLenMismatch);
+        }
+        Ok(())
+    }
+}
+
+/// `dst[i] ^= c · src[i]` over little-endian `u16` lanes.
+fn mul_acc_u16(c: u16, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len(), dst.len());
+    debug_assert_eq!(src.len() % 2, 0);
+    if c == 0 {
+        return;
+    }
+    for (d, s) in dst.chunks_exact_mut(2).zip(src.chunks_exact(2)) {
+        let sv = u16::from_le_bytes([s[0], s[1]]);
+        if sv != 0 {
+            let dv = u16::from_le_bytes([d[0], d[1]]) ^ gf2e::mul(c, sv);
+            d.copy_from_slice(&dv.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripe(k: usize, m: usize, len: usize) -> (CauchyRs16, Vec<Vec<u8>>) {
+        let code = CauchyRs16::new(k, m).unwrap();
+        let mut shards: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|b| (i * 89 + b * 17 + 3) as u8).collect())
+            .collect();
+        let parities = {
+            let refs: Vec<&[u8]> = shards.iter().map(|v| v.as_slice()).collect();
+            code.encode(&refs).unwrap()
+        };
+        shards.extend(parities);
+        (code, shards)
+    }
+
+    #[test]
+    fn all_pairs_recover_raid6_shape() {
+        let k = 6;
+        let (code, pristine) = stripe(k, 2, 32);
+        for a in 0..k + 2 {
+            for b in (a + 1)..k + 2 {
+                let mut s = pristine.clone();
+                s[a].fill(0);
+                s[b].fill(0);
+                code.reconstruct(&mut s, &[a, b]).unwrap();
+                assert_eq!(s, pristine, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_array_beyond_gf256() {
+        // 300 + 2 shards: impossible over GF(2^8), fine over GF(2^16).
+        assert!(crate::CauchyRs::raid6(300).is_err());
+        let (code, pristine) = stripe(300, 2, 8);
+        let mut s = pristine.clone();
+        s[7].fill(0);
+        s[301].fill(0);
+        code.reconstruct(&mut s, &[7, 301]).unwrap();
+        assert_eq!(s, pristine);
+    }
+
+    #[test]
+    fn triple_parity_sampled() {
+        let (code, pristine) = stripe(10, 3, 16);
+        for &(a, b, c) in &[(0usize, 1usize, 2usize), (3, 10, 12), (9, 11, 12), (0, 5, 11)] {
+            let mut s = pristine.clone();
+            for &i in &[a, b, c] {
+                s[i].fill(0);
+            }
+            code.reconstruct(&mut s, &[a, b, c]).unwrap();
+            assert_eq!(s, pristine, "({a},{b},{c})");
+        }
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        let code = CauchyRs16::new(2, 2).unwrap();
+        let d0 = vec![1u8; 3];
+        let d1 = vec![2u8; 3];
+        assert!(matches!(
+            code.encode(&[&d0, &d1]),
+            Err(RsError::ShardLenMismatch)
+        ));
+    }
+
+    #[test]
+    fn agrees_with_gf256_cauchy_on_shared_shapes() {
+        // Same erasures must be recoverable by both field sizes (the codes
+        // differ numerically but share the MDS property).
+        let (c16, mut s16) = stripe(5, 2, 16);
+        let c8 = crate::CauchyRs::new(5, 2).unwrap();
+        let data: Vec<Vec<u8>> = s16[..5].to_vec();
+        let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+        let mut s8: Vec<Vec<u8>> = data.clone();
+        s8.extend(c8.encode(&refs).unwrap());
+
+        for shards in [&mut s16[..], &mut s8[..]] {
+            shards[1].fill(0);
+            shards[4].fill(0);
+        }
+        c16.reconstruct(&mut s16, &[1, 4]).unwrap();
+        c8.reconstruct(&mut s8, &[1, 4]).unwrap();
+        assert_eq!(&s16[..5], &s8[..5], "data shards must match after repair");
+    }
+}

@@ -1,0 +1,80 @@
+//! Reed–Solomon RAID-6 over `GF(2^8)` — the classical baselines from the
+//! paper's Section II (Reed–Solomon Code and Cauchy Reed–Solomon Code).
+//!
+//! Two constructions:
+//!
+//! * [`pq::PqRaid6`] — the standard P+Q scheme: `P = ⊕ D_i`,
+//!   `Q = ⊕ g^i · D_i` with generator `g = 2`, decoding all six two-erasure
+//!   cases in closed form;
+//! * [`cauchy::CauchyRs`] — a general `(k, m)` systematic code built from a
+//!   Cauchy matrix, decoded by Gaussian elimination over `GF(2^8)`; for
+//!   `m = 2` it is a RAID-6 code over any `k ≤ 254` data disks;
+//! * [`cauchy16::CauchyRs16`] — the same construction over `GF(2^16)` for
+//!   arrays wider than `GF(2^8)` permits;
+//! * [`bitmatrix::BitMatrixCrs`] — Cauchy RS with coefficients expanded to
+//!   binary bit matrices so the whole data plane is XOR-only (the
+//!   construction the paper's background credits for making RS practical).
+//!
+//! These codes are *not* XOR array codes — their update complexity and I/O
+//! profile is what the XOR family (HV, RDP, …) improves on — so they stand
+//! outside the `ArrayCode` layout machinery and expose a per-disk-buffer
+//! API instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitmatrix;
+pub mod cauchy;
+pub mod cauchy16;
+pub mod matrix;
+pub mod pq;
+
+pub use bitmatrix::BitMatrixCrs;
+pub use cauchy::CauchyRs;
+pub use cauchy16::CauchyRs16;
+pub use pq::PqRaid6;
+
+use std::fmt;
+
+/// Errors shared by the Reed–Solomon constructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// Requested shape is impossible over GF(2^8).
+    BadShape {
+        /// Number of data shards requested.
+        data: usize,
+        /// Number of parity shards requested.
+        parity: usize,
+    },
+    /// Shard buffers have inconsistent lengths.
+    ShardLenMismatch,
+    /// More shards were lost than the code can repair.
+    TooManyErasures {
+        /// Number of erased shards.
+        lost: usize,
+        /// Number of parity shards (the correction capability).
+        capability: usize,
+    },
+    /// A shard index was out of range.
+    BadIndex {
+        /// The offending shard index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::BadShape { data, parity } => {
+                write!(f, "cannot build RS({data}+{parity}) over GF(256)")
+            }
+            RsError::ShardLenMismatch => write!(f, "shard lengths differ"),
+            RsError::TooManyErasures { lost, capability } => {
+                write!(f, "{lost} erasures exceed capability {capability}")
+            }
+            RsError::BadIndex { index } => write!(f, "shard index {index} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}

@@ -1,0 +1,210 @@
+//! Dense matrices over `GF(2^8)` with Gaussian inversion — the decoding
+//! workhorse for the Cauchy construction.
+
+use raid_math::gf256;
+
+/// A row-major dense matrix over `GF(2^8)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are incompatible.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "shape mismatch in matrix multiply");
+        Matrix::from_fn(self.rows, rhs.cols, |r, c| {
+            let mut acc = 0u8;
+            for k in 0..self.cols {
+                acc ^= gf256::mul(self.get(r, k), rhs.get(k, c));
+            }
+            acc
+        })
+    }
+
+    /// Inverts a square matrix by Gauss–Jordan elimination.
+    ///
+    /// Returns `None` if the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                for c in 0..n {
+                    let (x, y) = (a.get(col, c), a.get(pivot, c));
+                    a.set(col, c, y);
+                    a.set(pivot, c, x);
+                    let (x, y) = (inv.get(col, c), inv.get(pivot, c));
+                    inv.set(col, c, y);
+                    inv.set(pivot, c, x);
+                }
+            }
+            // Normalize the pivot row.
+            let p = a.get(col, col);
+            let pinv = gf256::inv(p);
+            for c in 0..n {
+                a.set(col, c, gf256::mul(a.get(col, c), pinv));
+                inv.set(col, c, gf256::mul(inv.get(col, c), pinv));
+            }
+            // Eliminate the column elsewhere.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor == 0 {
+                    continue;
+                }
+                for c in 0..n {
+                    let va = gf256::mul(factor, a.get(col, c));
+                    a.set(r, c, a.get(r, c) ^ va);
+                    let vi = gf256::mul(factor, inv.get(col, c));
+                    inv.set(r, c, inv.get(r, c) ^ vi);
+                }
+            }
+        }
+        Some(inv)
+    }
+}
+
+/// Builds the `m × k` Cauchy matrix `C[i][j] = 1 / (x_i + y_j)` with
+/// `x_i = i` and `y_j = m + j`, all distinct in `GF(2^8)`.
+///
+/// # Panics
+///
+/// Panics if `m + k > 256` (not enough distinct field points).
+pub fn cauchy_matrix(m: usize, k: usize) -> Matrix {
+    assert!(m + k <= 256, "GF(256) supports at most 256 distinct points");
+    Matrix::from_fn(m, k, |i, j| gf256::inv((i as u8) ^ ((m + j) as u8)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let i4 = Matrix::identity(4);
+        assert_eq!(i4.mul(&i4), i4);
+        assert_eq!(i4.inverse().unwrap(), i4);
+    }
+
+    #[test]
+    fn inverse_of_random_like_matrix() {
+        // A Cauchy matrix extended to square via identity rows is invertible.
+        let c = cauchy_matrix(3, 3);
+        let inv = c.inverse().expect("Cauchy matrices are invertible");
+        assert_eq!(c.mul(&inv), Matrix::identity(3));
+        assert_eq!(inv.mul(&c), Matrix::identity(3));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut m = Matrix::zero(2, 2);
+        m.set(0, 0, 3);
+        m.set(0, 1, 5);
+        m.set(1, 0, 3);
+        m.set(1, 1, 5);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn every_square_cauchy_submatrix_invertible() {
+        // The defining property that makes Cauchy RS MDS.
+        let m = 2usize;
+        let k = 6usize;
+        let c = cauchy_matrix(m, k);
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let sub = Matrix::from_fn(2, 2, |r, cc| c.get(r, if cc == 0 { a } else { b }));
+                assert!(sub.inverse().is_some(), "singular 2x2 at ({a},{b})");
+            }
+        }
+        // 1x1 minors are nonzero too.
+        for a in 0..k {
+            assert_ne!(c.get(0, a), 0);
+            assert_ne!(c.get(1, a), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_checked() {
+        Matrix::zero(2, 2).get(2, 0);
+    }
+}

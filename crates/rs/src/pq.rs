@@ -1,0 +1,412 @@
+//! The classical P+Q Reed–Solomon RAID-6: `P = ⊕ D_i`,
+//! `Q = ⊕ g^i · D_i` over `GF(2^8)` with generator `g = 2`.
+//!
+//! This is the construction the paper's Section II describes as expensive —
+//! every byte of a Q update is a Galois multiplication — and the reference
+//! point the XOR array codes are measured against.
+
+use raid_math::gf256;
+use raid_math::xor::xor_into;
+
+use crate::RsError;
+
+/// Which shard of a P+Q stripe is which.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shard {
+    /// Data shard with its index.
+    Data(usize),
+    /// The XOR parity shard.
+    P,
+    /// The Galois-weighted parity shard.
+    Q,
+}
+
+/// P+Q Reed–Solomon RAID-6 over `k + 2` disks.
+///
+/// ```
+/// use raid_rs::pq::{PqRaid6, Shard};
+///
+/// let code = PqRaid6::new(4)?;
+/// let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 * 7; 16]).collect();
+/// let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+/// let (p, q) = code.encode(&refs)?;
+///
+/// // Lose two data shards and rebuild them.
+/// let mut shards = data.clone();
+/// shards.push(p);
+/// shards.push(q);
+/// shards[1].fill(0);
+/// shards[3].fill(0);
+/// code.reconstruct(&mut shards, &[Shard::Data(1), Shard::Data(3)])?;
+/// assert_eq!(shards[1], data[1]);
+/// assert_eq!(shards[3], data[3]);
+/// # Ok::<(), raid_rs::RsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PqRaid6 {
+    data_disks: usize,
+}
+
+impl PqRaid6 {
+    /// Builds the code for `k` data disks, `1 ≤ k ≤ 255`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::BadShape`] outside that range (the `g^i`
+    /// coefficients must stay distinct and nonzero).
+    pub fn new(data_disks: usize) -> Result<Self, RsError> {
+        if data_disks == 0 || data_disks > 255 {
+            return Err(RsError::BadShape { data: data_disks, parity: 2 });
+        }
+        Ok(PqRaid6 { data_disks })
+    }
+
+    /// Number of data disks `k`.
+    pub fn data_disks(&self) -> usize {
+        self.data_disks
+    }
+
+    /// Total disks `k + 2`.
+    pub fn total_disks(&self) -> usize {
+        self.data_disks + 2
+    }
+
+    /// Computes `(P, Q)` for the given data shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError`] if the shard count or lengths are inconsistent.
+    pub fn encode(&self, data: &[&[u8]]) -> Result<(Vec<u8>, Vec<u8>), RsError> {
+        self.check_data(data)?;
+        let len = data[0].len();
+        let mut p = vec![0u8; len];
+        let mut q = vec![0u8; len];
+        for (i, shard) in data.iter().enumerate() {
+            xor_into(&mut p, shard);
+            gf256::mul_acc_slice(gf256::exp(i), shard, &mut q);
+        }
+        Ok((p, q))
+    }
+
+    /// Incrementally updates `(P, Q)` after data shard `i` changes from
+    /// `old` to `new` — the RAID-6 small-write path. Cost: one XOR pass for
+    /// P plus one Galois multiply-accumulate pass for Q.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError`] on a bad index or mismatched lengths.
+    pub fn update(
+        &self,
+        i: usize,
+        old: &[u8],
+        new: &[u8],
+        p: &mut [u8],
+        q: &mut [u8],
+    ) -> Result<(), RsError> {
+        if i >= self.data_disks {
+            return Err(RsError::BadIndex { index: i });
+        }
+        if old.len() != new.len() || old.len() != p.len() || p.len() != q.len() {
+            return Err(RsError::ShardLenMismatch);
+        }
+        // delta = old ^ new folds into P directly and into Q scaled by g^i.
+        let mut delta = old.to_vec();
+        xor_into(&mut delta, new);
+        xor_into(p, &delta);
+        gf256::mul_acc_slice(gf256::exp(i), &delta, q);
+        Ok(())
+    }
+
+    /// Verifies P and Q against the data shards — the scrub primitive for
+    /// the Reed–Solomon path. Returns which parities are inconsistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError`] on shape mismatches.
+    pub fn verify(&self, shards: &[Vec<u8>]) -> Result<(bool, bool), RsError> {
+        let k = self.data_disks;
+        if shards.len() != k + 2 {
+            return Err(RsError::BadShape { data: shards.len(), parity: 2 });
+        }
+        let refs: Vec<&[u8]> = shards[..k].iter().map(|v| v.as_slice()).collect();
+        let (p, q) = self.encode(&refs)?;
+        Ok((p == shards[k], q == shards[k + 1]))
+    }
+
+    /// Reconstructs up to two erased shards in place.
+    ///
+    /// `shards` lays out the stripe as `[D_0, …, D_{k−1}, P, Q]`; `lost`
+    /// names the erased positions (their buffers are overwritten).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::TooManyErasures`] for three or more losses, and
+    /// propagates shape errors.
+    pub fn reconstruct(&self, shards: &mut [Vec<u8>], lost: &[Shard]) -> Result<(), RsError> {
+        let k = self.data_disks;
+        if shards.len() != k + 2 {
+            return Err(RsError::BadShape { data: shards.len(), parity: 2 });
+        }
+        let len = shards[0].len();
+        if shards.iter().any(|s| s.len() != len) {
+            return Err(RsError::ShardLenMismatch);
+        }
+        if lost.len() > 2 {
+            return Err(RsError::TooManyErasures { lost: lost.len(), capability: 2 });
+        }
+        for &s in lost {
+            if let Shard::Data(i) = s {
+                if i >= k {
+                    return Err(RsError::BadIndex { index: i });
+                }
+            }
+        }
+
+        match *lost {
+            [] => Ok(()),
+            [one] => self.reconstruct_one(shards, one, &[]),
+            [a, b] if a == b => Err(RsError::BadIndex { index: shard_pos(a, k) }),
+            [Shard::Data(x), Shard::Data(y)] => self.reconstruct_two_data(shards, x, y),
+            // One data + one parity: rebuild data from the surviving
+            // parity, then recompute the lost parity.
+            [Shard::Data(x), parity] | [parity, Shard::Data(x)] => {
+                self.reconstruct_one(shards, Shard::Data(x), &[parity])?;
+                self.reconstruct_one(shards, parity, &[])
+            }
+            // P and Q both lost: re-encode from intact data.
+            [pa, pb] => {
+                debug_assert!(!matches!(pa, Shard::Data(_)) && !matches!(pb, Shard::Data(_)));
+                let (p, q) = {
+                    let data: Vec<&[u8]> = shards[..k].iter().map(|v| v.as_slice()).collect();
+                    self.encode(&data)?
+                };
+                shards[k] = p;
+                shards[k + 1] = q;
+                Ok(())
+            }
+            _ => unreachable!("lost.len() <= 2 checked above"),
+        }
+    }
+
+    /// Rebuilds a single shard, optionally avoiding `unusable` parities.
+    fn reconstruct_one(
+        &self,
+        shards: &mut [Vec<u8>],
+        target: Shard,
+        unusable: &[Shard],
+    ) -> Result<(), RsError> {
+        let k = self.data_disks;
+        let len = shards[0].len();
+        match target {
+            Shard::P => {
+                let mut p = vec![0u8; len];
+                for shard in &shards[..k] {
+                    xor_into(&mut p, shard);
+                }
+                shards[k] = p;
+            }
+            Shard::Q => {
+                let mut q = vec![0u8; len];
+                for (i, shard) in shards[..k].iter().enumerate() {
+                    gf256::mul_acc_slice(gf256::exp(i), shard, &mut q);
+                }
+                shards[k + 1] = q;
+            }
+            Shard::Data(x) => {
+                let use_p = !unusable.contains(&Shard::P);
+                if use_p {
+                    // D_x = P ^ (⊕ other data)
+                    let mut acc = shards[k].clone();
+                    for (i, shard) in shards[..k].iter().enumerate() {
+                        if i != x {
+                            xor_into(&mut acc, shard);
+                        }
+                    }
+                    shards[x] = acc;
+                } else {
+                    // D_x = (Q ^ ⊕ g^i D_i) / g^x
+                    let mut acc = shards[k + 1].clone();
+                    for (i, shard) in shards[..k].iter().enumerate() {
+                        if i != x {
+                            gf256::mul_acc_slice(gf256::exp(i), shard, &mut acc);
+                        }
+                    }
+                    let ginv = gf256::inv(gf256::exp(x));
+                    gf256::scale_slice(ginv, &mut acc);
+                    shards[x] = acc;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The classic two-data-erasure closed form.
+    fn reconstruct_two_data(
+        &self,
+        shards: &mut [Vec<u8>],
+        x: usize,
+        y: usize,
+    ) -> Result<(), RsError> {
+        let k = self.data_disks;
+        let len = shards[0].len();
+        // Pxy = P ^ (⊕ surviving data): equals D_x ^ D_y.
+        let mut pxy = shards[k].clone();
+        // Qxy = Q ^ (⊕ g^i D_i surviving): equals g^x D_x ^ g^y D_y.
+        let mut qxy = shards[k + 1].clone();
+        for (i, shard) in shards[..k].iter().enumerate() {
+            if i != x && i != y {
+                xor_into(&mut pxy, shard);
+                gf256::mul_acc_slice(gf256::exp(i), shard, &mut qxy);
+            }
+        }
+        // D_x = (g^y · Pxy ^ Qxy) / (g^x ^ g^y); D_y = Pxy ^ D_x.
+        let gx = gf256::exp(x);
+        let gy = gf256::exp(y);
+        let denom = gf256::inv(gx ^ gy);
+        let mut dx = vec![0u8; len];
+        gf256::mul_acc_slice(gf256::mul(gy, denom), &pxy, &mut dx);
+        gf256::mul_acc_slice(denom, &qxy, &mut dx);
+        let mut dy = pxy;
+        xor_into(&mut dy, &dx);
+        shards[x] = dx;
+        shards[y] = dy;
+        Ok(())
+    }
+
+    fn check_data(&self, data: &[&[u8]]) -> Result<(), RsError> {
+        if data.len() != self.data_disks {
+            return Err(RsError::BadShape { data: data.len(), parity: 2 });
+        }
+        let len = data[0].len();
+        if data.iter().any(|s| s.len() != len) {
+            return Err(RsError::ShardLenMismatch);
+        }
+        Ok(())
+    }
+}
+
+fn shard_pos(s: Shard, k: usize) -> usize {
+    match s {
+        Shard::Data(i) => i,
+        Shard::P => k,
+        Shard::Q => k + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripe(k: usize, len: usize, seed: u64) -> (PqRaid6, Vec<Vec<u8>>) {
+        let code = PqRaid6::new(k).unwrap();
+        let mut shards: Vec<Vec<u8>> = (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|b| (seed as usize + i * 131 + b * 7) as u8)
+                    .collect()
+            })
+            .collect();
+        let (p, q) = {
+            let refs: Vec<&[u8]> = shards.iter().map(|v| v.as_slice()).collect();
+            code.encode(&refs).unwrap()
+        };
+        shards.push(p);
+        shards.push(q);
+        (code, shards)
+    }
+
+    fn all_shards(k: usize) -> Vec<Shard> {
+        let mut v: Vec<Shard> = (0..k).map(Shard::Data).collect();
+        v.push(Shard::P);
+        v.push(Shard::Q);
+        v
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(PqRaid6::new(0).is_err());
+        assert!(PqRaid6::new(256).is_err());
+        assert!(PqRaid6::new(255).is_ok());
+    }
+
+    #[test]
+    fn every_double_erasure_recovers() {
+        let k = 6;
+        let (code, pristine) = stripe(k, 64, 42);
+        let shards = all_shards(k);
+        for (ai, &a) in shards.iter().enumerate() {
+            for &b in &shards[ai + 1..] {
+                let mut s = pristine.clone();
+                let (pa, pb) = (shard_pos(a, k), shard_pos(b, k));
+                s[pa].fill(0);
+                s[pb].fill(0);
+                code.reconstruct(&mut s, &[a, b]).unwrap();
+                assert_eq!(s, pristine, "lost {a:?},{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_erasure_recovers() {
+        let k = 5;
+        let (code, pristine) = stripe(k, 32, 7);
+        for &a in &all_shards(k) {
+            let mut s = pristine.clone();
+            s[shard_pos(a, k)].fill(0);
+            code.reconstruct(&mut s, &[a]).unwrap();
+            assert_eq!(s, pristine, "lost {a:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_reencode() {
+        let k = 4;
+        let (code, mut shards) = stripe(k, 48, 9);
+        let new_d2: Vec<u8> = (0..48).map(|b| (b * 3 + 1) as u8).collect();
+        let old = shards[2].clone();
+        let (mut p, mut q) = (shards[k].clone(), shards[k + 1].clone());
+        code.update(2, &old, &new_d2, &mut p, &mut q).unwrap();
+        shards[2] = new_d2;
+        let refs: Vec<&[u8]> = shards[..k].iter().map(|v| v.as_slice()).collect();
+        let (ep, eq) = code.encode(&refs).unwrap();
+        assert_eq!(p, ep);
+        assert_eq!(q, eq);
+    }
+
+    #[test]
+    fn verify_detects_parity_drift() {
+        let k = 5;
+        let (code, mut shards) = stripe(k, 16, 2);
+        assert_eq!(code.verify(&shards).unwrap(), (true, true));
+        shards[k][3] ^= 1;
+        assert_eq!(code.verify(&shards).unwrap(), (false, true));
+        shards[k][3] ^= 1;
+        shards[k + 1][0] ^= 0x10;
+        assert_eq!(code.verify(&shards).unwrap(), (true, false));
+    }
+
+    #[test]
+    fn triple_erasure_rejected() {
+        let k = 4;
+        let (code, mut shards) = stripe(k, 8, 1);
+        let err = code
+            .reconstruct(&mut shards, &[Shard::Data(0), Shard::Data(1), Shard::P])
+            .unwrap_err();
+        assert!(matches!(err, RsError::TooManyErasures { lost: 3, capability: 2 }));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let code = PqRaid6::new(3).unwrap();
+        assert!(matches!(
+            code.encode(&[&[1, 2][..], &[3][..], &[4, 5][..]]),
+            Err(RsError::ShardLenMismatch)
+        ));
+        let mut p = vec![0u8; 2];
+        let mut q = vec![0u8; 2];
+        assert!(matches!(
+            code.update(9, &[0, 0], &[1, 1], &mut p, &mut q),
+            Err(RsError::BadIndex { index: 9 })
+        ));
+    }
+}

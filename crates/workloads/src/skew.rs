@@ -1,0 +1,130 @@
+//! Skewed and sequential write traces — the access distributions the paper
+//! argues "stripe rotation" cannot balance (Section II-C, Load Balancing).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{WritePattern, WriteTrace};
+
+/// A Zipf-like trace: pattern starts are drawn from a Zipf(θ) distribution
+/// over `0..data_elements`, so a small region absorbs most writes (hotter
+/// with larger `theta`).
+///
+/// Sampling uses the classical inverse-power method over ranked element
+/// indices; `theta = 0` degenerates to uniform.
+///
+/// # Panics
+///
+/// Panics if `data_elements == 0`, `len == 0`, or `theta < 0`.
+pub fn zipf_write_trace(
+    len: usize,
+    count: usize,
+    data_elements: usize,
+    theta: f64,
+    seed: u64,
+) -> WriteTrace {
+    assert!(data_elements > 0, "need a non-empty data space");
+    assert!(len > 0, "zero-length writes are meaningless");
+    assert!(theta >= 0.0, "theta must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Precompute the normalized CDF of rank^(−theta).
+    let n = data_elements;
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0f64;
+    for rank in 1..=n {
+        acc += (rank as f64).powf(-theta);
+        cdf.push(acc);
+    }
+    let total = acc;
+
+    let patterns = (0..count)
+        .map(|_| {
+            let u = rng.gen::<f64>() * total;
+            let idx = cdf.partition_point(|&c| c < u).min(n - 1);
+            WritePattern { start: idx, len, freq: 1 }
+        })
+        .collect();
+    WriteTrace { name: format!("zipf_{theta:.1}_w_{len}"), patterns }
+}
+
+/// A hot-spot trace: every write lands inside `[0, spot_elements)` — the
+/// adversarial case for stripe rotation.
+///
+/// # Panics
+///
+/// Panics if `spot_elements == 0` or `len == 0`.
+pub fn hot_spot_trace(len: usize, count: usize, spot_elements: usize, seed: u64) -> WriteTrace {
+    assert!(spot_elements > 0, "empty hot spot");
+    assert!(len > 0, "zero-length writes are meaningless");
+    let mut rng = StdRng::seed_from_u64(seed);
+    WriteTrace {
+        name: format!("hot_spot_{spot_elements}"),
+        patterns: (0..count)
+            .map(|_| WritePattern { start: rng.gen_range(0..spot_elements), len, freq: 1 })
+            .collect(),
+    }
+}
+
+/// A purely sequential trace: back-to-back writes of `len` elements
+/// sweeping the address space from `0` — the backup / VM-migration pattern
+/// the paper's partial-stripe-write analysis is motivated by.
+pub fn sequential_trace(len: usize, count: usize, data_elements: usize) -> WriteTrace {
+    assert!(data_elements > len, "data space too small");
+    WriteTrace {
+        name: format!("sequential_w_{len}"),
+        patterns: (0..count)
+            .map(|i| WritePattern {
+                start: (i * len) % (data_elements - len),
+                len,
+                freq: 1,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_concentrates_mass_as_theta_grows() {
+        let space = 1000;
+        let flat = zipf_write_trace(4, 2000, space, 0.0, 1);
+        let hot = zipf_write_trace(4, 2000, space, 1.2, 1);
+        let head_share = |t: &WriteTrace| {
+            t.patterns.iter().filter(|p| p.start < space / 10).count() as f64
+                / t.patterns.len() as f64
+        };
+        assert!(head_share(&hot) > head_share(&flat) + 0.3);
+        // Uniform-ish: roughly 10% in the first decile.
+        assert!((head_share(&flat) - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn zipf_is_deterministic() {
+        assert_eq!(
+            zipf_write_trace(4, 100, 50, 0.9, 7),
+            zipf_write_trace(4, 100, 50, 0.9, 7)
+        );
+    }
+
+    #[test]
+    fn hot_spot_confined() {
+        let t = hot_spot_trace(8, 500, 16, 3);
+        assert!(t.patterns.iter().all(|p| p.start < 16 && p.len == 8));
+    }
+
+    #[test]
+    fn sequential_sweeps() {
+        let t = sequential_trace(10, 5, 100);
+        let starts: Vec<usize> = t.patterns.iter().map(|p| p.start).collect();
+        assert_eq!(starts, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_theta_rejected() {
+        zipf_write_trace(1, 1, 10, -1.0, 0);
+    }
+}

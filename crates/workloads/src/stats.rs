@@ -1,0 +1,110 @@
+//! Descriptive statistics of a write trace — printed alongside the Fig. 6
+//! results so the workload a number was measured under is part of the
+//! record.
+
+use std::collections::BTreeMap;
+
+use crate::WriteTrace;
+
+/// Summary of a write trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Write operations including repetitions.
+    pub operations: u64,
+    /// Data elements written including repetitions.
+    pub elements_written: u64,
+    /// Distinct data elements touched at least once.
+    pub footprint: usize,
+    /// Smallest pattern length.
+    pub min_len: usize,
+    /// Largest pattern length.
+    pub max_len: usize,
+    /// Mean pattern length (weighted by frequency).
+    pub mean_len: f64,
+    /// Ratio of elements written to footprint — how hot the hot spots are
+    /// (1.0 = every element written exactly once).
+    pub reuse_factor: f64,
+}
+
+/// Computes [`TraceStats`].
+///
+/// # Panics
+///
+/// Panics if the trace has no patterns.
+pub fn trace_stats(trace: &WriteTrace) -> TraceStats {
+    assert!(!trace.patterns.is_empty(), "empty trace");
+    let mut touched: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut operations = 0u64;
+    let mut elements = 0u64;
+    let mut min_len = usize::MAX;
+    let mut max_len = 0usize;
+    for p in &trace.patterns {
+        operations += p.freq as u64;
+        elements += (p.len as u64) * p.freq as u64;
+        min_len = min_len.min(p.len);
+        max_len = max_len.max(p.len);
+        for e in p.start..p.start + p.len {
+            *touched.entry(e).or_insert(0) += p.freq as u64;
+        }
+    }
+    let footprint = touched.len();
+    TraceStats {
+        operations,
+        elements_written: elements,
+        footprint,
+        min_len,
+        max_len,
+        mean_len: elements as f64 / operations as f64,
+        reuse_factor: elements as f64 / footprint as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{table2_trace, uniform_write_trace, WritePattern};
+
+    #[test]
+    fn table2_stats_match_hand_count() {
+        let s = trace_stats(&table2_trace());
+        assert_eq!(s.operations, 1115); // Σ F
+        assert_eq!(s.min_len, 1);
+        assert_eq!(s.max_len, 45);
+        // Starts < 50 and lengths ≤ 45 → footprint within [45, 94].
+        assert!(s.footprint >= 45 && s.footprint <= 94, "{}", s.footprint);
+        assert!(s.reuse_factor > 100.0, "Table II is write-hot");
+    }
+
+    #[test]
+    fn uniform_trace_has_uniform_shape() {
+        let t = uniform_write_trace(10, 500, 1000, 3);
+        let s = trace_stats(&t);
+        assert_eq!(s.operations, 500);
+        assert_eq!((s.min_len, s.max_len), (10, 10));
+        assert!((s.mean_len - 10.0).abs() < 1e-12);
+        assert!(s.reuse_factor < 10.0, "uniform trace is cold-ish");
+    }
+
+    #[test]
+    fn frequency_weighting() {
+        let t = WriteTrace {
+            name: "t".into(),
+            patterns: vec![
+                WritePattern { start: 0, len: 2, freq: 3 },
+                WritePattern { start: 1, len: 4, freq: 1 },
+            ],
+        };
+        let s = trace_stats(&t);
+        assert_eq!(s.operations, 4);
+        assert_eq!(s.elements_written, 10);
+        assert_eq!(s.footprint, 5); // elements 0..5
+        assert!((s.mean_len - 2.5).abs() < 1e-12);
+        assert!((s.reuse_factor - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_rejected() {
+        trace_stats(&WriteTrace { name: "e".into(), patterns: vec![] });
+    }
+}

@@ -1,0 +1,114 @@
+//! Plain-text trace archiving: the `(S,L,F)` format of the paper's
+//! Table II, one triple per line, with `#` comments.
+
+use std::fmt;
+
+use crate::{WritePattern, WriteTrace};
+
+/// Error from [`parse_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Renders a trace as text: a `# name:` header and one `S L F` triple per
+/// line.
+pub fn format_trace(trace: &WriteTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# name: {}\n", trace.name));
+    for p in &trace.patterns {
+        out.push_str(&format!("{} {} {}\n", p.start, p.len, p.freq));
+    }
+    out
+}
+
+/// Parses the format produced by [`format_trace`]. Blank lines and `#`
+/// comments are skipped; a `# name:` comment sets the trace name.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed lines, zero lengths or zero
+/// frequencies.
+pub fn parse_trace(text: &str) -> Result<WriteTrace, ParseTraceError> {
+    let mut name = "unnamed".to_string();
+    let mut patterns = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(n) = rest.trim().strip_prefix("name:") {
+                name = n.trim().to_string();
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(ParseTraceError {
+                line: idx + 1,
+                reason: format!("expected 3 fields, got {}", fields.len()),
+            });
+        }
+        let parse = |s: &str, what: &str| -> Result<u64, ParseTraceError> {
+            s.parse().map_err(|_| ParseTraceError {
+                line: idx + 1,
+                reason: format!("bad {what}: {s}"),
+            })
+        };
+        let start = parse(fields[0], "start")? as usize;
+        let len = parse(fields[1], "length")? as usize;
+        let freq = parse(fields[2], "frequency")? as u32;
+        if len == 0 || freq == 0 {
+            return Err(ParseTraceError {
+                line: idx + 1,
+                reason: "length and frequency must be positive".into(),
+            });
+        }
+        patterns.push(WritePattern { start, len, freq });
+    }
+    Ok(WriteTrace { name, patterns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table2_trace;
+
+    #[test]
+    fn round_trip_table2() {
+        let t = table2_trace();
+        let text = format_trace(&t);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let t = parse_trace("# name: demo\n\n# a comment\n1 2 3\n").unwrap();
+        assert_eq!(t.name, "demo");
+        assert_eq!(t.patterns, vec![WritePattern { start: 1, len: 2, freq: 3 }]);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = parse_trace("1 2\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("expected 3 fields"));
+        let err = parse_trace("1 2 3\nx 2 3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_trace("1 0 3\n").unwrap_err();
+        assert!(err.reason.contains("positive"));
+    }
+}

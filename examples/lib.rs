@@ -1,0 +1,44 @@
+//! Shared helpers for the runnable examples.
+
+/// Deterministic pseudo-random payload generator (xorshift64*), so every
+/// example can verify bytes without external dependencies.
+pub fn payload(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let word = state.wrapping_mul(0x2545_F491_4F6C_DD1D).to_le_bytes();
+        out.extend_from_slice(&word[..word.len().min(len - out.len())]);
+    }
+    out
+}
+
+/// FNV-1a checksum for quick integrity reporting in example output.
+pub fn fingerprint(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_is_deterministic() {
+        assert_eq!(payload(100, 7), payload(100, 7));
+        assert_ne!(payload(100, 7), payload(100, 8));
+        assert_eq!(payload(13, 1).len(), 13);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes() {
+        assert_ne!(fingerprint(b"hello"), fingerprint(b"hellp"));
+        assert_eq!(fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use std::sync::Arc;
+
+use hv_code::HvCode;
+use raid_baselines::{EvenOddCode, HCode, HdpCode, LiberationCode, PCode, RdpCode, XCode};
+use raid_core::ArrayCode;
+
+/// Every XOR array code in the workspace at prime `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not a prime ≥ 5.
+pub fn all_codes(p: usize) -> Vec<Arc<dyn ArrayCode>> {
+    vec![
+        Arc::new(HvCode::new(p).expect("prime p >= 5")) as Arc<dyn ArrayCode>,
+        Arc::new(RdpCode::new(p).expect("prime")),
+        Arc::new(EvenOddCode::new(p).expect("prime")),
+        Arc::new(XCode::new(p).expect("prime")),
+        Arc::new(HCode::new(p).expect("prime p >= 5")),
+        Arc::new(HdpCode::new(p).expect("prime p >= 5")),
+        Arc::new(PCode::new(p).expect("prime")),
+        Arc::new(LiberationCode::new(p).expect("prime")),
+    ]
+}
+
+/// Deterministic payload bytes.
+pub fn payload(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u8
+        })
+        .collect()
+}

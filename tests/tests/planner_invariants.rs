@@ -1,0 +1,173 @@
+//! Planner invariants that must hold for every code: the generic machinery
+//! can make no code-specific assumptions.
+
+use integration::all_codes;
+use raid_core::plan::degraded::plan_degraded_read;
+use raid_core::plan::single::{plan_single_disk_recovery, SearchStrategy};
+use raid_core::plan::update::parity_updates;
+use raid_core::{invariants, Stripe};
+
+#[test]
+fn update_closure_equals_reencode_for_every_code() {
+    // Writing one data element and updating exactly the planner's parity
+    // set must equal a full re-encode.
+    for code in all_codes(7) {
+        let name = code.name().to_string();
+        let layout = code.layout();
+        for &cell in layout.data_cells() {
+            let mut stripe = Stripe::for_layout(layout, 8);
+            stripe.fill_data_seeded(layout, 5);
+            code.encode(&mut stripe);
+
+            // Flip the element, then recompute only the planned parities
+            // (from full chain membership, in dependency order).
+            let mut patched = stripe.clone();
+            let newval = vec![0xEEu8; 8];
+            patched.set_element(cell, &newval);
+            let mut pending = parity_updates(layout, cell);
+            while !pending.is_empty() {
+                let mut rest = Vec::new();
+                let before = pending.len();
+                for &parity in &pending {
+                    let chain_id = layout.chain_of_parity(parity).unwrap();
+                    let chain = layout.chain(chain_id);
+                    if chain.members.iter().any(|m| pending.contains(m)) {
+                        rest.push(parity);
+                        continue;
+                    }
+                    let val = patched.xor_of(chain.members.iter().copied());
+                    patched.set_element(parity, &val);
+                }
+                assert!(rest.len() < before, "{name}: no progress at {cell}");
+                pending = rest;
+            }
+
+            let mut reencoded = stripe.clone();
+            reencoded.set_element(cell, &newval);
+            code.encode(&mut reencoded);
+            assert_eq!(patched, reencoded, "{name}: cell {cell}");
+        }
+    }
+}
+
+#[test]
+fn degraded_read_plans_are_sound() {
+    for code in all_codes(7) {
+        let name = code.name().to_string();
+        let layout = code.layout();
+        let data = layout.data_cells();
+        for failed in 0..layout.cols() {
+            // A sliding window of requests.
+            for win in [1usize, 3, 7] {
+                for start in (0..data.len().saturating_sub(win)).step_by(5) {
+                    let req = &data[start..start + win];
+                    let plan = plan_degraded_read(layout, failed, req);
+                    // Never fetches from the failed disk.
+                    assert!(
+                        plan.fetched.iter().all(|c| c.col != failed),
+                        "{name}: fetched from failed disk"
+                    );
+                    // Surviving requested cells are always fetched.
+                    for &r in req {
+                        if r.col != failed {
+                            assert!(
+                                plan.fetched.contains(&r),
+                                "{name}: requested {r} not fetched"
+                            );
+                        }
+                    }
+                    // Efficiency is at least 1 and bounded by chain length.
+                    let eff = plan.efficiency();
+                    assert!(eff >= 1.0 - 1e-9, "{name}: eff {eff}");
+                    let max_len = layout
+                        .chain_length_histogram()
+                        .iter()
+                        .map(|&(l, _)| l)
+                        .max()
+                        .unwrap() as f64;
+                    assert!(
+                        eff <= max_len + 1.0,
+                        "{name}: eff {eff} exceeds chain bound"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn single_disk_plans_repair_correctly() {
+    for code in all_codes(7) {
+        let name = code.name().to_string();
+        let layout = code.layout();
+        let mut pristine = Stripe::for_layout(layout, 16);
+        pristine.fill_data_seeded(layout, 9);
+        code.encode(&mut pristine);
+
+        for failed in 0..layout.cols() {
+            for strategy in [
+                SearchStrategy::Greedy,
+                SearchStrategy::Exhaustive,
+                SearchStrategy::Auto,
+            ] {
+                let plan = plan_single_disk_recovery(layout, failed, strategy);
+                assert_eq!(plan.choices.len(), layout.rows(), "{name}");
+                // Reads never touch the failed disk.
+                assert!(plan.reads.iter().all(|c| c.col != failed), "{name}");
+
+                // Execute the plan and compare bytes.
+                let mut broken = pristine.clone();
+                broken.erase_col(failed);
+                for (cell, chain_id) in &plan.choices {
+                    let sources: Vec<_> = layout
+                        .chain(*chain_id)
+                        .cells()
+                        .filter(|c| c != cell)
+                        .collect();
+                    let val = broken.xor_of(sources);
+                    broken.set_element(*cell, &val);
+                }
+                assert_eq!(broken, pristine, "{name}: disk {failed} ({strategy:?})");
+            }
+        }
+    }
+}
+
+#[test]
+fn shipped_table2_trace_matches_the_paper() {
+    // The trace file shipped in traces/ must parse to exactly the Table II
+    // constants the workloads crate hard-codes.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../traces/table2.trace");
+    let text = std::fs::read_to_string(path).expect("traces/table2.trace exists");
+    let parsed = raid_workloads::textio::parse_trace(&text).unwrap();
+    let reference = raid_workloads::table2_trace();
+    assert_eq!(parsed.patterns, reference.patterns);
+    assert_eq!(parsed.name, reference.name);
+}
+
+#[test]
+fn structural_invariants_hold_for_all_codes() {
+    for p in [5usize, 7, 11] {
+        for code in all_codes(p) {
+            let name = code.name().to_string();
+            let layout = code.layout();
+            assert!(
+                invariants::all_single_failures_decodable(layout),
+                "{name} p={p}"
+            );
+            assert_eq!(
+                invariants::find_undecodable_pair(layout),
+                None,
+                "{name} p={p} must be MDS"
+            );
+            // EVENODD's S-adjusted diagonals and Liberation's extra-one
+            // coding matrices legitimately take two packets from one disk.
+            assert!(
+                invariants::chains_hit_columns_once(layout)
+                    || name == "EVENODD"
+                    || name == "Liberation",
+                "{name} p={p}: chains revisit columns"
+            );
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Lifecycle stress: random interleavings of writes, disk failures,
+//! degraded writes/reads, rebuilds and scrubs, validated against a shadow
+//! byte array after every step.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hv_code::HvCode;
+use integration::payload;
+use raid_array::RaidVolume;
+use raid_core::{ArrayCode, Cell};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { start: usize, len: usize, seed: u64 },
+    FailDisk { disk: usize },
+    Rebuild,
+    ReadCheck { start: usize, len: usize },
+    Corrupt { stripe: usize, row: usize, col: usize },
+    Scrub,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..500, 1usize..16, any::<u64>())
+            .prop_map(|(start, len, seed)| Op::Write { start, len, seed }),
+        (0usize..8).prop_map(|disk| Op::FailDisk { disk }),
+        Just(Op::Rebuild),
+        (0usize..500, 1usize..16).prop_map(|(start, len)| Op::ReadCheck { start, len }),
+        (0usize..8, 0usize..8, 0usize..8)
+            .prop_map(|(stripe, row, col)| Op::Corrupt { stripe, row, col }),
+        Just(Op::Scrub),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn volume_survives_random_lifecycles(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(7).unwrap());
+        let element = 8usize;
+        let stripes = 6usize;
+        let mut v = RaidVolume::new(Arc::clone(&code), stripes, element);
+        let cap = v.data_elements();
+        let mut shadow = vec![0u8; cap * element];
+        let mut corrupted = false;
+
+        for op in ops {
+            match op {
+                Op::Write { start, len, seed } => {
+                    // An unscrubbed corruption poisons incremental parity
+                    // updates (real controllers scrub before trusting RMW);
+                    // the model mirrors that discipline.
+                    if corrupted {
+                        continue;
+                    }
+                    let start = start % cap;
+                    let len = len.min(cap - start);
+                    let data = payload(len * element, seed);
+                    // Degraded writes are legal; three failures cannot
+                    // happen through the API.
+                    v.write(start, &data).unwrap();
+                    shadow[start * element..(start + len) * element].copy_from_slice(&data);
+                }
+                Op::FailDisk { disk } => {
+                    if corrupted {
+                        continue; // rebuilds would launder the corruption
+                    }
+                    let disk = disk % v.disks();
+                    if v.failed_disks().len() == 2 && !v.failed_disks().contains(&disk) {
+                        // Third failure must be rejected.
+                        prop_assert!(v.fail_disk(disk).is_err());
+                    } else {
+                        v.fail_disk(disk).unwrap();
+                    }
+                }
+                Op::Rebuild => {
+                    v.rebuild().unwrap();
+                    prop_assert!(corrupted || v.verify_all());
+                }
+                Op::ReadCheck { start, len } => {
+                    // Reads are only guaranteed correct while no silent
+                    // corruption is outstanding.
+                    if corrupted {
+                        continue;
+                    }
+                    let start = start % cap;
+                    let len = len.min(cap - start);
+                    let (bytes, _) = v.read(start, len).unwrap();
+                    prop_assert_eq!(
+                        &bytes[..],
+                        &shadow[start * element..(start + len) * element]
+                    );
+                }
+                Op::Corrupt { stripe, row, col } => {
+                    // Only inject when healthy (scrub requires it) and only
+                    // one outstanding corruption (the localizable case).
+                    if corrupted || !v.failed_disks().is_empty() {
+                        continue;
+                    }
+                    let stripe = stripe % stripes;
+                    let cell = Cell::new(row % code.layout().rows(), col % v.disks());
+                    v.inject_corruption(stripe, cell, 3);
+                    corrupted = true;
+                }
+                Op::Scrub => {
+                    if v.failed_disks().is_empty() {
+                        let findings = v.scrub().unwrap();
+                        if corrupted {
+                            prop_assert_eq!(findings.len(), 1, "one injected corruption");
+                        } else {
+                            prop_assert!(findings.is_empty());
+                        }
+                        corrupted = false;
+                        prop_assert!(v.verify_all());
+                    }
+                }
+            }
+        }
+
+        // Settle: clear failures and corruption, then full verification.
+        v.rebuild().unwrap();
+        if corrupted {
+            v.scrub().unwrap();
+        }
+        let (bytes, _) = v.read(0, cap).unwrap();
+        prop_assert_eq!(bytes, shadow);
+        prop_assert!(v.verify_all());
+    }
+}
