@@ -1,0 +1,26 @@
+# Convenience targets for the HV Code reproduction workspace.
+
+CARGO ?= cargo
+
+.PHONY: build test bench bench-smoke lint clean
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+# Full benchmark run (slow; regenerates BENCH_encode.json at the repo root).
+bench:
+	$(CARGO) bench -p raid-bench
+
+# One iteration per benchmark: verifies every bench target runs end to end
+# (and that BENCH_encode.json is emitted) in seconds, not minutes.
+bench-smoke:
+	RAID_BENCH_SMOKE=1 $(CARGO) bench -p raid-bench
+
+lint:
+	$(CARGO) clippy --workspace --all-targets
+
+clean:
+	$(CARGO) clean

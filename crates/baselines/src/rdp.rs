@@ -117,7 +117,10 @@ impl RdpCode {
         let mut solved = vec![false; 2 * rows];
         let idx_of = |cell: Cell| if cell.col == f1 { cell.row } else { rows + cell.row };
 
-        let repair = |cell: Cell,
+        // One scratch buffer reused across the walk (see
+        // `Stripe::xor_of_into`) instead of an allocation per element.
+        let mut scratch = vec![0u8; stripe.element_size()];
+        let mut repair = |cell: Cell,
                           chain_parity: Cell,
                           stripe: &mut raid_core::Stripe,
                           solved: &mut [bool],
@@ -125,10 +128,9 @@ impl RdpCode {
             let chain = layout
                 .chain_of_parity(chain_parity)
                 .expect("parity cell owns its chain");
-            let sources: Vec<Cell> =
-                layout.chain(chain).cells().filter(|&m| m != cell).collect();
-            let value = stripe.xor_of(sources);
-            stripe.set_element(cell, &value);
+            let sources = layout.chain(chain).cells().filter(|&m| m != cell);
+            stripe.xor_of_into(sources, &mut scratch);
+            stripe.set_element(cell, &scratch);
             solved[idx_of(cell)] = true;
             order.push(cell);
         };

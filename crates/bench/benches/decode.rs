@@ -1,7 +1,7 @@
 //! Double-disk-failure decoding throughput: the generic peeling decoder for
 //! every code, plus HV Code's specialized Algorithm-1 path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hv_code::HvCode;
 use raid_bench::codes::evaluated;
 use raid_core::{decoder, ArrayCode, Stripe};
@@ -20,6 +20,8 @@ fn bench_generic_decode(c: &mut Criterion) {
         let mut lost = layout.cells_in_col(f1);
         lost.extend(layout.cells_in_col(f2));
 
+        // Throughput = bytes reconstructed per repair.
+        group.throughput(Throughput::Bytes((lost.len() * ELEMENT) as u64));
         group.bench_with_input(
             BenchmarkId::new(code.name().replace(' ', "_"), p),
             &p,
@@ -47,6 +49,7 @@ fn bench_hv_algorithm1(c: &mut Criterion) {
         code.encode(&mut pristine);
         let (f1, f2) = (0, layout.cols() / 2);
 
+        group.throughput(Throughput::Bytes((2 * layout.rows() * ELEMENT) as u64));
         group.bench_with_input(BenchmarkId::new("algorithm1", p), &p, |b, _| {
             b.iter(|| {
                 let mut broken = pristine.clone();

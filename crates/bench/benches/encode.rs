@@ -1,9 +1,11 @@
 //! Full-stripe encoding throughput for every code (plus the Reed–Solomon
 //! baselines), the "encode complexity" axis of the paper's Section IV.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use hv_code::HvCode;
 use raid_bench::codes::extended;
-use raid_core::Stripe;
+use raid_bench::report::{write_bench_json, BenchRecord};
+use raid_core::{ArrayCode, Stripe};
 use raid_rs::{CauchyRs, PqRaid6};
 
 const ELEMENT: usize = 4096;
@@ -73,5 +75,109 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_rs_encode, bench_kernels);
-criterion_main!(benches);
+/// The seed's encode loop exactly as it shipped: walk every chain,
+/// allocate a scratch element, fold members with the scalar XOR kernel.
+/// Valid for HV because no HV parity chain contains another parity
+/// (asserted below), so chain order is irrelevant.
+fn encode_seed_scalar(stripe: &mut Stripe, layout: &raid_core::Layout) {
+    use raid_math::xor::xor_into_scalar;
+    for chain in layout.chains() {
+        let mut acc = vec![0u8; stripe.element_size()];
+        for m in &chain.members {
+            xor_into_scalar(&mut acc, stripe.element(*m));
+        }
+        stripe.set_element(chain.parity, &acc);
+    }
+}
+
+/// The tentpole comparison: the compiled-plan encode path (what
+/// `Stripe::encode` now runs) against the seed's per-chain `xor_of`
+/// interpreter — both as it shipped (`hv_seed_scalar`: scalar kernel,
+/// per-chain allocation) and upgraded with the SIMD kernels
+/// (`hv_reference`, kept as `Stripe::encode_reference`).
+fn bench_plan_vs_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_plan_vs_reference");
+    for p in [7usize, 13, 17] {
+        let code = HvCode::new(p).unwrap();
+        let layout = code.layout();
+        assert!(
+            layout
+                .chains()
+                .iter()
+                .all(|ch| ch.members.iter().all(|m| layout.is_data(*m))),
+            "HV chains must be parity-free for order-independent encoding"
+        );
+        let mut stripe = Stripe::for_layout(layout, ELEMENT);
+        stripe.fill_data_seeded(layout, 5);
+        let bytes = (layout.num_data_cells() * ELEMENT) as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::new("hv_plan", p), &p, |b, _| {
+            b.iter(|| {
+                stripe.encode(layout);
+                std::hint::black_box(&stripe);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hv_reference", p), &p, |b, _| {
+            b.iter(|| {
+                stripe.encode_reference(layout);
+                std::hint::black_box(&stripe);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hv_seed_scalar", p), &p, |b, _| {
+            b.iter(|| {
+                encode_seed_scalar(&mut stripe, layout);
+                std::hint::black_box(&stripe);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_rs_encode,
+    bench_kernels,
+    bench_plan_vs_reference
+);
+
+fn main() {
+    benches();
+    let records: Vec<BenchRecord> = criterion::take_collected()
+        .into_iter()
+        .map(|r| BenchRecord {
+            group: r.group,
+            id: r.id,
+            ns_per_iter: r.ns_per_iter,
+            bytes_per_iter: r.bytes_per_iter,
+        })
+        .collect();
+    let ns = |id: &str| {
+        records
+            .iter()
+            .find(|r| r.group == "encode_plan_vs_reference" && r.id == id)
+            .map(|r| r.ns_per_iter)
+    };
+    let speedup = |baseline: Option<f64>| match (baseline, ns("hv_plan/17")) {
+        (Some(base), Some(plan)) if plan > 0.0 => format!("{:.2}", base / plan),
+        _ => "n/a".to_string(),
+    };
+    let vs_seed = speedup(ns("hv_seed_scalar/17"));
+    let vs_reference = speedup(ns("hv_reference/17"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_encode.json");
+    let notes = [
+        ("element_bytes", ELEMENT.to_string()),
+        ("hv_plan_speedup_vs_seed_scalar_p17", vs_seed.clone()),
+        ("hv_plan_speedup_vs_simd_reference_p17", vs_reference),
+        (
+            "hardware",
+            format!(
+                "{} logical core(s) available; xor backend {}",
+                std::thread::available_parallelism().map_or(0, usize::from),
+                raid_math::xor::active_backend().name(),
+            ),
+        ),
+    ];
+    write_bench_json(std::path::Path::new(path), &records, &notes).expect("write BENCH_encode.json");
+    eprintln!("wrote {path} (hv plan speedup vs seed scalar path at p=17: {vs_seed}x)");
+}

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use raid_array::RaidVolume;
 use raid_bench::codes::evaluated;
 use raid_rs::PqRaid6;
@@ -13,6 +13,8 @@ const ELEMENT: usize = 4096;
 
 fn bench_volume_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("single_element_update");
+    // Throughput = user data written per operation.
+    group.throughput(Throughput::Bytes(ELEMENT as u64));
     let p = 13;
     for code in evaluated(p) {
         let name = code.name().replace(' ', "_");
@@ -31,6 +33,7 @@ fn bench_volume_update(c: &mut Criterion) {
 
 fn bench_rs_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("single_element_update_rs");
+    group.throughput(Throughput::Bytes(ELEMENT as u64));
     let k = 12;
     let code = PqRaid6::new(k).unwrap();
     let data: Vec<Vec<u8>> = (0..k)

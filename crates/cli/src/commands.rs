@@ -32,6 +32,8 @@ commands:
                                            replay an (S,L,F) trace file
   estimate  --code <name> [--p 13] [--stripes 64] [--mttf 1000000]
                                            rebuild times and MTTDL
+  batch     --code <name> [--p 13] [--stripes 256] [--element 4096] [--threads 1]
+                                           encode + rebuild a stripe batch, timed
 
 codes: hv rdp evenodd xcode hcode hdp pcode liberation";
 
@@ -48,6 +50,7 @@ pub fn run(parsed: &Parsed) -> Result<String, String> {
         "demo" => demo(parsed),
         "replay" => replay(parsed),
         "estimate" => estimate(parsed),
+        "batch" => batch(parsed),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -224,6 +227,49 @@ fn estimate(parsed: &Parsed) -> Result<String, String> {
     ))
 }
 
+fn batch(parsed: &Parsed) -> Result<String, String> {
+    let (code, p) = code_from(parsed, 13)?;
+    let stripes = parsed.get_or("stripes", 256usize)?;
+    let element = parsed.get_or("element", 4096usize)?;
+    let threads = parsed.get_or("threads", 1usize)?;
+    let layout = code.layout();
+    let mut batch: Vec<raid_core::Stripe> = (0..stripes)
+        .map(|i| {
+            let mut s = raid_core::Stripe::for_layout(layout, element);
+            s.fill_data_seeded(layout, i as u64 + 1);
+            s
+        })
+        .collect();
+    let bytes = (stripes * layout.num_data_cells() * element) as f64;
+    let mib_s = |secs: f64| bytes / (1 << 20) as f64 / secs;
+
+    let t0 = std::time::Instant::now();
+    raid_array::encode_batch(code.as_ref(), &mut batch, threads);
+    let encode_s = t0.elapsed().as_secs_f64();
+
+    let lost = [0usize, layout.cols() / 2];
+    let t1 = std::time::Instant::now();
+    raid_array::rebuild_batch(code.as_ref(), &mut batch, &lost, threads)
+        .map_err(|e| e.to_string())?;
+    let rebuild_s = t1.elapsed().as_secs_f64();
+    let intact = batch.iter().all(|s| code.is_consistent(s));
+
+    Ok(format!(
+        "{} at p = {p}: {stripes} stripes × {element} B elements, {threads} thread(s)\n\
+         encode:  {:.1} ms ({:.0} MiB/s of data)\n\
+         rebuild: {:.1} ms ({:.0} MiB/s of data, disks #{} and #{})\n\
+         all stripes consistent after rebuild: {}",
+        code.name(),
+        encode_s * 1e3,
+        mib_s(encode_s),
+        rebuild_s * 1e3,
+        mib_s(rebuild_s),
+        lost[0] + 1,
+        lost[1] + 1,
+        if intact { "yes ✔" } else { "NO ✘" },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +278,19 @@ mod tests {
 
     fn run_line(line: &[&str]) -> Result<String, String> {
         run(&parse(line.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn batch_encodes_and_rebuilds() {
+        for threads in ["1", "4"] {
+            let out = run_line(&[
+                "batch", "--code", "hv", "--p", "7", "--stripes", "12", "--element", "64",
+                "--threads", threads,
+            ])
+            .unwrap();
+            assert!(out.contains("12 stripes"), "{out}");
+            assert!(out.contains("consistent after rebuild: yes"), "{out}");
+        }
     }
 
     #[test]

@@ -174,12 +174,12 @@ fn gauss_solve(
     // Forward elimination with back-substitution (Gauss-Jordan).
     let mut pivot_of: Vec<Option<usize>> = vec![None; nu]; // unknown -> row index
     let mut used = vec![false; rows.len()];
-    for u in 0..nu {
+    for (u, pivot) in pivot_of.iter_mut().enumerate() {
         let Some(r) = (0..rows.len()).find(|&r| !used[r] && rows[r].coef.contains(u)) else {
             continue;
         };
         used[r] = true;
-        pivot_of[u] = Some(r);
+        *pivot = Some(r);
         // Split borrow: clone the pivot row content (tiny bitsets).
         let pivot_coef = rows[r].coef.clone();
         let pivot_rhs = rows[r].rhs.clone();
@@ -266,11 +266,17 @@ pub fn plan_targeted_decode(
 }
 
 /// Executes a plan against a stripe whose lost cells are zeroed or stale.
+///
+/// The steps are lowered to a compiled [`crate::xplan::XorPlan`] (cells →
+/// buffer indices, one arena) and interpreted, so execution allocates once
+/// for the compiled plan instead of one scratch buffer per step.
 pub fn apply_plan(stripe: &mut Stripe, plan: &DecodePlan) {
-    for step in &plan.steps {
-        let value = stripe.xor_of(step.sources.iter().copied());
-        stripe.set_element(step.target, &value);
-    }
+    let compiled = crate::xplan::XorPlan::from_steps(
+        stripe.rows(),
+        stripe.cols(),
+        plan.steps.iter().map(|s| (s.target, s.sources.as_slice())),
+    );
+    compiled.execute(stripe);
 }
 
 /// Convenience: plan and apply in one call.
@@ -423,7 +429,7 @@ mod tests {
         let layout = two_parity_layout();
         let pristine = encoded_stripe(&layout, 1);
         let lost = vec![Cell::new(0, 0), Cell::new(0, 1), Cell::new(0, 2)];
-        let mut s = pristine.clone();
+        let mut s = pristine;
         for &c in &lost {
             s.erase(c);
         }

@@ -9,8 +9,10 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::geometry::Cell;
+use crate::xplan::XorPlan;
 
 /// The family a parity chain belongs to.
 ///
@@ -152,6 +154,8 @@ pub struct Layout {
     data_order: Vec<Cell>,
     /// Inverse of `data_order` (linear cell index → ordinal).
     data_ordinal: Vec<Option<usize>>,
+    /// Lazily compiled full-parity plan (see [`Layout::encode_plan`]).
+    encode_plan_cache: OnceLock<XorPlan>,
 }
 
 impl Layout {
@@ -223,7 +227,24 @@ impl Layout {
             }
         }
 
-        Ok(Layout { rows, cols, kinds, chains, membership, owner, data_order, data_ordinal })
+        Ok(Layout {
+            rows,
+            cols,
+            kinds,
+            chains,
+            membership,
+            owner,
+            data_order,
+            data_ordinal,
+            encode_plan_cache: OnceLock::new(),
+        })
+    }
+
+    /// The compiled full-parity [`XorPlan`] for this layout, built on first
+    /// use and cached — every stripe encoded through this layout shares one
+    /// plan and performs no per-stripe geometry work.
+    pub fn encode_plan(&self) -> &XorPlan {
+        self.encode_plan_cache.get_or_init(|| XorPlan::compile_encode(self))
     }
 
     /// Number of rows (elements per disk per stripe).

@@ -8,6 +8,9 @@
 //! description:
 //!
 //! * [`stripe`] — element buffers and chain-driven encoding;
+//! * [`xplan`] — compiled XOR plans: encode/decode/recovery geometry
+//!   lowered once to flat buffer-index operations, interpreted per stripe
+//!   with no allocation;
 //! * [`decoder`] — peeling + GF(2) Gaussian erasure decoding, used both as a
 //!   reference decoder and to prove the MDS property exhaustively in tests;
 //! * [`schedule`] — double-failure recovery schedules: the recovery-chain
@@ -24,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::needless_range_loop, clippy::redundant_clone)]
 
 pub mod bitset;
 pub mod code;
@@ -37,8 +41,10 @@ pub mod schedule;
 pub mod scrub;
 pub mod spec;
 pub mod stripe;
+pub mod xplan;
 
 pub use code::ArrayCode;
 pub use geometry::Cell;
 pub use layout::{Chain, ChainId, ElementKind, Layout};
 pub use stripe::Stripe;
+pub use xplan::XorPlan;

@@ -158,7 +158,7 @@ mod tests {
     #[test]
     fn multi_element_corruption_not_guessed() {
         let (layout, pristine) = encoded();
-        let mut s = pristine.clone();
+        let mut s = pristine;
         // Corrupt two data cells: the union signature matches no single
         // cell, so the scrubber must refuse.
         s.element_mut(Cell::new(0, 0))[0] ^= 1;

@@ -1,9 +1,14 @@
 //! Stripe buffers and chain-driven encoding.
 
-use raid_math::xor::{is_zero, xor_into};
+use raid_math::xor::{is_zero, xor_gather_into, xor_into, xor_many_into};
 
 use crate::geometry::Cell;
 use crate::layout::Layout;
+
+/// Source-slice batches at or below this size are gathered on the stack;
+/// longer ones (EVENODD-style long chains at large `p`) fall back to a heap
+/// gather. Covers every chain of every code in this workspace up to p ≈ 29.
+const STACK_GATHER: usize = 32;
 
 /// The element buffers of one stripe: a `rows × cols` grid of equally sized
 /// byte buffers.
@@ -111,9 +116,11 @@ impl Stripe {
     /// Recomputes every parity element from its chain: `parity = XOR(members)`.
     ///
     /// Chains are evaluated in dependency order: a chain whose members
-    /// include another chain's parity (RDP, HDP) is computed after it. The
-    /// ordering is a fixed-point sweep, which terminates because parity
-    /// dependencies in array codes are acyclic.
+    /// include another chain's parity (RDP, HDP) is computed after it.
+    ///
+    /// Runs the layout's cached [`crate::xplan::XorPlan`] — geometry is
+    /// resolved once per layout, and the per-stripe work is pure plan
+    /// interpretation with no allocation.
     ///
     /// # Panics
     ///
@@ -121,6 +128,19 @@ impl Stripe {
     /// RAID code produces this) or if the layout does not match the stripe
     /// shape.
     pub fn encode(&mut self, layout: &Layout) {
+        assert_eq!(layout.rows(), self.rows, "layout/stripe row mismatch");
+        assert_eq!(layout.cols(), self.cols, "layout/stripe col mismatch");
+        layout.encode_plan().execute(self);
+    }
+
+    /// The seed implementation of [`Stripe::encode`]: walks chains and
+    /// allocates a scratch buffer per parity element. Kept as the reference
+    /// the compiled path is property-tested and benchmarked against.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Stripe::encode`].
+    pub fn encode_reference(&mut self, layout: &Layout) {
         assert_eq!(layout.rows(), self.rows, "layout/stripe row mismatch");
         assert_eq!(layout.cols(), self.cols, "layout/stripe col mismatch");
         let order = encode_order(layout);
@@ -159,11 +179,59 @@ impl Stripe {
         }
         acc
     }
+
+    /// Allocation-free [`Stripe::xor_of`]: overwrites `out` with the XOR of
+    /// `cells`, letting hot loops reuse one scratch buffer across elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `element_size` bytes or a cell is out of
+    /// bounds.
+    pub fn xor_of_into(&self, cells: impl IntoIterator<Item = Cell>, out: &mut [u8]) {
+        assert_eq!(out.len(), self.element_size, "xor_of_into: scratch size mismatch");
+        out.fill(0);
+        let mut stack: [&[u8]; STACK_GATHER] = [&[]; STACK_GATHER];
+        let mut n = 0;
+        for c in cells {
+            if n == STACK_GATHER {
+                // Flush a full batch and keep gathering; order is
+                // irrelevant for XOR.
+                xor_many_into(out, &stack);
+                n = 0;
+            }
+            stack[n] = self.element(c);
+            n += 1;
+        }
+        xor_many_into(out, &stack[..n]);
+    }
+
+    /// Overwrites the buffer at linear index `dst` with the XOR of the
+    /// buffers at `srcs` — the [`crate::xplan::XorPlan`] interpreter's one
+    /// primitive. Single pass over every buffer including the target
+    /// (which is written without being read); no allocation for plans
+    /// whose steps stay at or below [`STACK_GATHER`] sources.
+    pub(crate) fn apply_indexed_xor(&mut self, dst: usize, srcs: &[u32]) {
+        debug_assert!(!srcs.iter().any(|&s| s as usize == dst), "op reads its own target");
+        // Detach the target so the sources can be borrowed from `bufs`.
+        let mut out = std::mem::take(&mut self.bufs[dst]);
+        if srcs.len() <= STACK_GATHER {
+            let mut stack: [&[u8]; STACK_GATHER] = [&[]; STACK_GATHER];
+            for (slot, &s) in stack.iter_mut().zip(srcs) {
+                *slot = &self.bufs[s as usize];
+            }
+            xor_gather_into(&mut out, &stack[..srcs.len()]);
+        } else {
+            let gathered: Vec<&[u8]> =
+                srcs.iter().map(|&s| self.bufs[s as usize].as_slice()).collect();
+            xor_gather_into(&mut out, &gathered);
+        }
+        self.bufs[dst] = out;
+    }
 }
 
 /// Topologically orders chains so that any chain whose members include
 /// another chain's parity cell is evaluated after that chain.
-fn encode_order(layout: &Layout) -> Vec<usize> {
+pub(crate) fn encode_order(layout: &Layout) -> Vec<usize> {
     let n = layout.chains().len();
     // dep[i] = chains that must run before chain i.
     let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];

@@ -26,8 +26,11 @@
 //! # Ok::<(), raid_math::prime::NotPrimeError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD kernels in [`xor`] opt back in for
+// their intrinsics; every other module stays `unsafe`-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::needless_range_loop, clippy::redundant_clone)]
 
 pub mod gf256;
 pub mod gf2e;

@@ -99,7 +99,7 @@ pub fn div_mod(i: i64, j: i64, p: Prime) -> usize {
 /// ```
 pub fn half_mod(x: i64, p: Prime) -> usize {
     let r = reduce(x, p);
-    if r % 2 == 0 {
+    if r.is_multiple_of(2) {
         r / 2
     } else {
         (r + p.get()) / 2

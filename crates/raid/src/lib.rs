@@ -10,17 +10,20 @@
 //! [`addr`] maps the linear data-element address space onto stripes and
 //! optionally rotates stripes across disks ("stripe rotation", the
 //! traditional balancing technique the paper contrasts with parity
-//! spreading).
+//! spreading). [`batch`] encodes or rebuilds batches of independent
+//! stripes on scoped worker threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod batch;
 pub mod mttr;
 pub mod reliability;
 pub mod replay;
 pub mod volume;
 
 pub use addr::Addressing;
+pub use batch::{encode_batch, rebuild_batch};
 pub use replay::{replay_read_patterns, replay_write_trace, ReadReplay, WriteReplay};
 pub use volume::{RaidVolume, VolumeError};

@@ -116,7 +116,7 @@ pub fn simulate_single_rebuild(
     let mut sim = DiskArray::new(layout.cols() + 1, profile);
     for _ in 0..stripes {
         let mut batch: Vec<usize> = plan.reads.iter().map(|c| c.col).collect();
-        batch.extend(std::iter::repeat(spare).take(layout.rows()));
+        batch.extend(std::iter::repeat_n(spare, layout.rows()));
         sim.run_batch(batch).expect("healthy sim");
     }
     (sim.now_ms(), sim.utilization())

@@ -120,7 +120,7 @@ pub fn replay_write_trace(
         for disk in 0..volume.disks() {
             let n = (tally.reads()[disk] - prev.reads()[disk])
                 + (tally.writes()[disk] - prev.writes()[disk]);
-            requests.extend(std::iter::repeat(disk).take(n as usize));
+            requests.extend(std::iter::repeat_n(disk, n as usize));
         }
         prev = tally.clone();
         latencies.push(sim.run_batch(requests)?);
@@ -191,7 +191,7 @@ pub fn replay_read_patterns(
         let mut requests = Vec::new();
         for disk in 0..volume.disks() {
             let n = tally.reads()[disk] - prev.reads()[disk];
-            requests.extend(std::iter::repeat(disk).take(n as usize));
+            requests.extend(std::iter::repeat_n(disk, n as usize));
         }
         prev = tally.clone();
         latencies.push(sim.run_batch(requests)?);
@@ -253,7 +253,7 @@ mod tests {
     fn replay_tally_is_a_delta() {
         let (mut v, mut sim) = setup();
         // Pre-existing traffic must not leak into the replay's tally.
-        v.write(0, &vec![1u8; 8 * 4]).unwrap();
+        v.write(0, &[1u8; 8 * 4]).unwrap();
         let before = v.tally().total();
         assert!(before > 0);
         let trace = uniform_write_trace(2, 5, 20, 1);

@@ -10,10 +10,29 @@ use raid_core::io::IoTally;
 use raid_core::plan::degraded::{plan_degraded_read, plan_degraded_read_multi};
 use raid_core::plan::single::{plan_single_disk_recovery, SearchStrategy};
 use raid_core::plan::write::{plan_partial_write, write_cost, WriteMode};
-use raid_core::{ArrayCode, Cell, Stripe};
+use raid_core::layout::Layout;
+use raid_core::{ArrayCode, Cell, ChainId, Stripe, XorPlan};
 use raid_math::xor::xor_into;
 
 use crate::addr::Addressing;
+
+/// Lowers `(lost cell, repair chain)` choices — the shape shared by the
+/// degraded-read and single-disk recovery planners — into a compiled
+/// [`XorPlan`]: each cell is rebuilt as the XOR of the other cells of its
+/// chosen chain.
+fn compile_chain_repairs(layout: &Layout, repairs: &[(Cell, ChainId)]) -> XorPlan {
+    let sources: Vec<Vec<Cell>> = repairs
+        .iter()
+        .map(|(cell, chain)| {
+            layout.chain(*chain).cells().filter(|c| c != cell).collect()
+        })
+        .collect();
+    XorPlan::from_steps(
+        layout.rows(),
+        layout.cols(),
+        repairs.iter().zip(&sources).map(|((cell, _), src)| (*cell, src.as_slice())),
+    )
+}
 
 /// Errors from volume operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -452,15 +471,7 @@ impl RaidVolume {
                     }
                     // Reconstruct lost elements in a scratch copy and serve.
                     let mut scratch = self.stripes[seg.stripe].clone();
-                    for (cell, chain_id) in &plan.repairs {
-                        let sources: Vec<Cell> = layout
-                            .chain(*chain_id)
-                            .cells()
-                            .filter(|c| c != cell)
-                            .collect();
-                        let value = scratch.xor_of(sources);
-                        scratch.set_element(*cell, &value);
-                    }
+                    compile_chain_repairs(layout, &plan.repairs).execute(&mut scratch);
                     for &cell in &requested {
                         out.extend_from_slice(scratch.element(cell));
                     }
@@ -476,10 +487,12 @@ impl RaidVolume {
                         receipt.reads += 1;
                     }
                     let mut scratch = self.stripes[seg.stripe].clone();
-                    for step in &plan.steps {
-                        let value = scratch.xor_of(step.sources.iter().copied());
-                        scratch.set_element(step.target, &value);
-                    }
+                    raid_core::XorPlan::from_steps(
+                        layout.rows(),
+                        layout.cols(),
+                        plan.steps.iter().map(|s| (s.target, s.sources.as_slice())),
+                    )
+                    .execute(&mut scratch);
                     for &cell in &requested {
                         out.extend_from_slice(scratch.element(cell));
                     }
@@ -514,14 +527,8 @@ impl RaidVolume {
                         receipt.reads += 1;
                     }
                     let stripe = &mut self.stripes[idx];
-                    for (cell, chain_id) in &plan.choices {
-                        let sources: Vec<Cell> = layout
-                            .chain(*chain_id)
-                            .cells()
-                            .filter(|c| c != cell)
-                            .collect();
-                        let value = stripe.xor_of(sources);
-                        stripe.set_element(*cell, &value);
+                    compile_chain_repairs(layout, &plan.choices).execute(stripe);
+                    for (cell, _) in &plan.choices {
                         self.tally.add_writes(failed[0], 1);
                         if layout.is_data(*cell) {
                             receipt.data_writes += 1;

@@ -13,7 +13,7 @@
 //! Liberation motivate themselves).
 
 use raid_math::gf256;
-use raid_math::xor::xor_into;
+use raid_math::xor::{xor_into, xor_many_into};
 
 use crate::matrix::{cauchy_matrix, Matrix};
 use crate::RsError;
@@ -63,10 +63,17 @@ pub struct BitMatrixCrs {
     k: usize,
     m: usize,
     gen: Matrix,
+    /// Compiled encode schedule: for parity packet `dst = r·W + pr`, the
+    /// entry holds the range of `plan_srcs` (each `j·W + c`, a data packet)
+    /// XOR-ed into it. Expanding the generator's bit matrices once here
+    /// removes all bit-matrix math from [`BitMatrixCrs::encode`].
+    plan_ops: Vec<(u32, u32, u32)>,
+    plan_srcs: Vec<u32>,
 }
 
 impl BitMatrixCrs {
-    /// Builds the code (`k, m ≥ 1`, `k + m ≤ 256`).
+    /// Builds the code (`k, m ≥ 1`, `k + m ≤ 256`) and compiles its XOR
+    /// encode schedule.
     ///
     /// # Errors
     ///
@@ -75,7 +82,24 @@ impl BitMatrixCrs {
         if k == 0 || m == 0 || k + m > 256 {
             return Err(RsError::BadShape { data: k, parity: m });
         }
-        Ok(BitMatrixCrs { k, m, gen: cauchy_matrix(m, k) })
+        let gen = cauchy_matrix(m, k);
+        let mut plan_ops = Vec::with_capacity(m * W);
+        let mut plan_srcs = Vec::new();
+        for r in 0..m {
+            for pr in 0..W {
+                let start = plan_srcs.len() as u32;
+                for j in 0..k {
+                    let row = mul_bitmatrix(gen.get(r, j))[pr];
+                    for c in 0..W {
+                        if row >> c & 1 == 1 {
+                            plan_srcs.push((j * W + c) as u32);
+                        }
+                    }
+                }
+                plan_ops.push(((r * W + pr) as u32, start, plan_srcs.len() as u32));
+            }
+        }
+        Ok(BitMatrixCrs { k, m, gen, plan_ops, plan_srcs })
     }
 
     /// Data shard count.
@@ -89,17 +113,12 @@ impl BitMatrixCrs {
     }
 
     /// Total XOR packet-operations of one full encode — the schedule
-    /// density the bit-matrix construction is judged by.
+    /// density the bit-matrix construction is judged by. Each one of a
+    /// coefficient's bit matrix is one packet XOR (the first XOR into a
+    /// zeroed packet is a copy, counted uniformly), so this is exactly the
+    /// compiled schedule's source count.
     pub fn encode_xor_ops(&self) -> usize {
-        let mut ops = 0;
-        for r in 0..self.m {
-            for j in 0..self.k {
-                ops += bitmatrix_ones(self.gen.get(r, j));
-            }
-        }
-        // Each one is one packet XOR; the first XOR into a zeroed packet
-        // is a copy, but we count uniformly.
-        ops
+        self.plan_srcs.len()
     }
 
     /// Applies the bit matrix of `coeff` to `src`, XORing into `dst`
@@ -119,7 +138,9 @@ impl BitMatrixCrs {
         }
     }
 
-    /// Encodes the parity shards by pure XOR.
+    /// Encodes the parity shards by interpreting the compiled XOR schedule:
+    /// each parity packet is produced by one single-pass multi-source XOR
+    /// over its data packets, with no bit-matrix math at encode time.
     ///
     /// # Errors
     ///
@@ -130,15 +151,21 @@ impl BitMatrixCrs {
             return Err(RsError::BadShape { data: data.len(), parity: self.m });
         }
         let len = data[0].len();
-        if len % W != 0 || data.iter().any(|s| s.len() != len) {
+        if !len.is_multiple_of(W) || data.iter().any(|s| s.len() != len) {
             return Err(RsError::ShardLenMismatch);
         }
         let plen = len / W;
         let mut parities = vec![vec![0u8; len]; self.m];
-        for (r, parity) in parities.iter_mut().enumerate() {
-            for (j, shard) in data.iter().enumerate() {
-                Self::apply(self.gen.get(r, j), shard, parity, plen);
-            }
+        let mut gathered: Vec<&[u8]> = Vec::new();
+        for &(dst, start, end) in &self.plan_ops {
+            gathered.clear();
+            gathered.extend(self.plan_srcs[start as usize..end as usize].iter().map(|&s| {
+                let (j, c) = ((s as usize) / W, (s as usize) % W);
+                &data[j][c * plen..(c + 1) * plen]
+            }));
+            let (r, pr) = ((dst as usize) / W, (dst as usize) % W);
+            let dst_packet = &mut parities[r][pr * plen..(pr + 1) * plen];
+            xor_many_into(dst_packet, &gathered);
         }
         Ok(parities)
     }
@@ -158,7 +185,7 @@ impl BitMatrixCrs {
             return Err(RsError::BadShape { data: shards.len(), parity: m });
         }
         let len = shards[0].len();
-        if len % W != 0 || shards.iter().any(|s| s.len() != len) {
+        if !len.is_multiple_of(W) || shards.iter().any(|s| s.len() != len) {
             return Err(RsError::ShardLenMismatch);
         }
         if lost.len() > m {
@@ -191,9 +218,9 @@ impl BitMatrixCrs {
             let mut rhs: Vec<Vec<u8>> = Vec::with_capacity(rows.len());
             for &r in &rows {
                 let mut acc = shards[k + r].clone();
-                for j in 0..k {
+                for (j, shard) in shards.iter().enumerate().take(k) {
                     if !lost_data.contains(&j) {
-                        let shard = shards[j].clone();
+                        let shard = shard.clone();
                         Self::apply(self.gen.get(r, j), &shard, &mut acc, plen);
                     }
                 }

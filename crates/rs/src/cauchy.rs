@@ -138,9 +138,9 @@ impl CauchyRs {
             let mut rhs: Vec<Vec<u8>> = Vec::with_capacity(rows.len());
             for &r in &rows {
                 let mut acc = shards[k + r].clone();
-                for j in 0..k {
+                for (j, shard) in shards.iter().enumerate().take(k) {
                     if !lost_data.contains(&j) {
-                        gf256::mul_acc_slice(self.gen.get(r, j), &shards[j], &mut acc);
+                        gf256::mul_acc_slice(self.gen.get(r, j), shard, &mut acc);
                     }
                 }
                 rhs.push(acc);

@@ -154,10 +154,10 @@ impl CauchyRs16 {
             let mut rhs: Vec<Vec<u8>> = Vec::with_capacity(rows.len());
             for &r in &rows {
                 let mut acc = shards[k + r].clone();
-                for j in 0..k {
+                for (j, src) in shards.iter().enumerate().take(k) {
                     if !lost_data.contains(&j) {
                         let c = self.coeff(r, j);
-                        let src = shards[j].clone();
+                        let src = src.clone();
                         mul_acc_u16(c, &src, &mut acc);
                     }
                 }
@@ -188,7 +188,7 @@ impl CauchyRs16 {
         if shard_count != self.k {
             return Err(RsError::BadShape { data: shard_count, parity: self.m });
         }
-        if len % 2 != 0 {
+        if !len.is_multiple_of(2) {
             return Err(RsError::ShardLenMismatch);
         }
         Ok(())

@@ -57,7 +57,7 @@ impl WriteTrace {
     pub fn expanded(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.patterns
             .iter()
-            .flat_map(|p| std::iter::repeat((p.start, p.len)).take(p.freq as usize))
+            .flat_map(|p| std::iter::repeat_n((p.start, p.len), p.freq as usize))
     }
 
     /// Concatenates another trace after this one.

@@ -1,0 +1,328 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the call-site API of the benches in this workspace — groups,
+//! [`Throughput`], [`BenchmarkId`], `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, [`criterion_group!`] / [`criterion_main!`] — on top of a
+//! plain wall-clock harness: per benchmark it warms up, splits the
+//! measurement window into fixed-size samples, and reports the median
+//! sample's nanoseconds per iteration plus derived throughput.
+//!
+//! Two extensions the real criterion does not have, used by the repro
+//! harness:
+//!
+//! * every finished measurement is pushed into a process-global list,
+//!   readable via [`take_collected`], so a bench binary can emit a
+//!   machine-readable summary (`BENCH_encode.json`);
+//! * setting `RAID_BENCH_SMOKE=1` collapses warmup and sampling to a single
+//!   iteration — the `make bench-smoke` fast path.
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name, e.g. `encode_stripe`.
+    pub group: String,
+    /// Benchmark id within the group (`function/param`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations measured.
+    pub iters: u64,
+    /// Bytes processed per iteration, when the group declared
+    /// [`Throughput::Bytes`].
+    pub bytes_per_iter: Option<u64>,
+}
+
+impl BenchResult {
+    /// Throughput in bytes/second, when byte throughput was declared.
+    pub fn bytes_per_sec(&self) -> Option<f64> {
+        self.bytes_per_iter.map(|b| b as f64 * 1e9 / self.ns_per_iter)
+    }
+}
+
+static COLLECTED: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded so far in this process.
+pub fn take_collected() -> Vec<BenchResult> {
+    std::mem::take(&mut COLLECTED.lock().expect("collector poisoned"))
+}
+
+fn record(result: BenchResult) {
+    COLLECTED.lock().expect("collector poisoned").push(result);
+}
+
+/// True when `RAID_BENCH_SMOKE=1`: run each benchmark exactly once.
+pub fn smoke_mode() -> bool {
+    std::env::var("RAID_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Units for a group's per-iteration work, for derived throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// `function/parameter` benchmark naming.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id with no parameter part.
+    pub fn from_name(function: impl Into<String>) -> Self {
+        BenchmarkId { full: function.into() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId::from_name(s)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId::from_name(s)
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_count: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(60),
+            sample_count: 11,
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput declaration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for derived throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion);
+        f(&mut b);
+        self.finish_one(id, b);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion);
+        f(&mut b, input);
+        self.finish_one(id, b);
+        self
+    }
+
+    /// Ends the group (kept for API parity; results are recorded eagerly).
+    pub fn finish(self) {}
+
+    fn finish_one(&self, id: BenchmarkId, b: Bencher) {
+        let Some((ns_per_iter, iters)) = b.outcome else {
+            eprintln!("{}/{}: no measurement (iter was never called)", self.name, id.full);
+            return;
+        };
+        let bytes = match self.throughput {
+            Some(Throughput::Bytes(n)) => Some(n),
+            _ => None,
+        };
+        let result = BenchResult {
+            group: self.name.clone(),
+            id: id.full,
+            ns_per_iter,
+            iters,
+            bytes_per_iter: bytes,
+        };
+        match result.bytes_per_sec() {
+            Some(bps) => eprintln!(
+                "{:<48} {:>12.1} ns/iter {:>10.1} MiB/s ({} iters)",
+                format!("{}/{}", result.group, result.id),
+                result.ns_per_iter,
+                bps / (1024.0 * 1024.0),
+                result.iters
+            ),
+            None => eprintln!(
+                "{:<48} {:>12.1} ns/iter ({} iters)",
+                format!("{}/{}", result.group, result.id),
+                result.ns_per_iter,
+                result.iters
+            ),
+        }
+        record(result);
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_count: u32,
+    outcome: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    fn new(c: &Criterion) -> Self {
+        Bencher {
+            measurement_time: c.measurement_time,
+            warm_up_time: c.warm_up_time,
+            sample_count: c.sample_count,
+            outcome: None,
+        }
+    }
+
+    /// Measures `routine`: warmup to size the samples, then
+    /// `sample_count` equal samples; the median sample yields ns/iter.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if smoke_mode() {
+            let t0 = Instant::now();
+            black_box(routine());
+            let ns = t0.elapsed().as_nanos().max(1) as f64;
+            self.outcome = Some((ns, 1));
+            return;
+        }
+
+        // Warmup: run until the warmup window elapses, counting iterations
+        // to estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let per_sample_ns =
+            self.measurement_time.as_nanos() as f64 / self.sample_count as f64;
+        let iters_per_sample = (per_sample_ns / est_ns).ceil().max(1.0) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_count as usize);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        self.outcome = Some((median.max(1.0), total_iters));
+    }
+}
+
+/// Bundles benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_collects() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.warm_up_time = Duration::from_millis(1);
+        let mut group = c.benchmark_group("unit");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 32), &32u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        let collected = take_collected();
+        assert_eq!(collected.len(), 2);
+        assert!(collected.iter().any(|r| r.id == "sum/32"));
+        for r in &collected {
+            assert!(r.ns_per_iter > 0.0);
+            assert!(r.bytes_per_sec().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("enc", 17).full, "enc/17");
+        assert_eq!(BenchmarkId::from_name("solo").full, "solo");
+    }
+}

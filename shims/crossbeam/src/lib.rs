@@ -1,0 +1,98 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API used by this workspace is provided, and it is
+//! a thin veneer over `std::thread::scope` (stable since Rust 1.63). The
+//! call-site shape matches crossbeam 0.8: `scope(|s| ...)` returns a
+//! `Result`, and `s.spawn(|_| ...)` hands the closure a scope reference.
+//! Unlike crossbeam, a panicking child propagates when the scope exits
+//! (std semantics), so `scope` itself only returns `Ok` here.
+
+pub mod thread {
+    /// Child-thread panic payload list, kept for call-site compatibility
+    /// with crossbeam's `scope` signature.
+    pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Spawning handle passed to [`scope`]'s closure and to child closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn further children, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a thread spawned via [`Scope::spawn`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, yielding its result or its panic
+        /// payload.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all children are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn mutable_chunks_across_threads() {
+        let mut bufs = [0u8; 8];
+        thread::scope(|s| {
+            for chunk in bufs.chunks_mut(4) {
+                s.spawn(move |_| chunk.fill(7));
+            }
+        })
+        .unwrap();
+        assert!(bufs.iter().all(|&b| b == 7));
+    }
+}

@@ -1,0 +1,97 @@
+//! Case-running machinery behind the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps offline CI fast while still
+        // exercising the ragged edges (tests that need more set it).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition failed — skip, don't count.
+    Reject(String),
+    /// `prop_assert!` failed — the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result alias matching upstream's `TestCaseResult`.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The generator handed to strategies.
+///
+/// Seeding is deterministic per test name (FNV-1a of the name), so a failure
+/// reproduces on re-run; set `PROPTEST_SEED` to explore other streams.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic generator for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.parse::<u64>() {
+                h = h.wrapping_add(extra.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+        }
+        TestRng { rng: StdRng::seed_from_u64(h) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore as _;
+
+    #[test]
+    fn per_test_determinism() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.rng.next_u64(), b.rng.next_u64());
+        let mut c = TestRng::for_test("y");
+        assert_ne!(TestRng::for_test("x").rng.next_u64(), c.rng.next_u64());
+    }
+
+    #[test]
+    fn config_defaults() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+}
