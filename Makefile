@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench bench-smoke lint clean
+.PHONY: build test bench bench-smoke lint verify clean
 
 build:
 	$(CARGO) build --release
@@ -10,17 +10,26 @@ build:
 test:
 	$(CARGO) test -q
 
-# Full benchmark run (slow; regenerates BENCH_encode.json at the repo root).
+# Full benchmark run (slow; regenerates BENCH_*.json at the repo root).
 bench:
 	$(CARGO) bench -p raid-bench
 
 # One iteration per benchmark: verifies every bench target runs end to end
-# (and that BENCH_encode.json is emitted) in seconds, not minutes.
+# (and that the BENCH_*.json files are emitted) in seconds, not minutes.
 bench-smoke:
 	RAID_BENCH_SMOKE=1 $(CARGO) bench -p raid-bench
 
 lint:
 	$(CARGO) clippy --workspace --all-targets
+
+# The pre-merge gate: release build, full test suite, warnings-as-errors
+# lint, then a bench smoke run that refreshes BENCH_degraded.json (and the
+# other BENCH_*.json files) with current degraded-read throughput numbers.
+verify:
+	$(CARGO) build --release
+	$(CARGO) test -q
+	$(CARGO) clippy -- -D warnings
+	RAID_BENCH_SMOKE=1 $(CARGO) bench -p raid-bench
 
 clean:
 	$(CARGO) clean

@@ -18,7 +18,7 @@ fn bench_volume_update(c: &mut Criterion) {
     let p = 13;
     for code in evaluated(p) {
         let name = code.name().replace(' ', "_");
-        let mut volume = RaidVolume::new(Arc::clone(&code), 2, ELEMENT);
+        let mut volume = RaidVolume::in_memory(Arc::clone(&code), 2, ELEMENT);
         let buf = vec![0xA5u8; ELEMENT];
         let mut addr = 0usize;
         group.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {

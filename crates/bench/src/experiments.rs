@@ -33,7 +33,7 @@ pub const ELEMENT_BYTES: usize = 8;
 pub fn volume_for(code: &Arc<dyn ArrayCode>) -> RaidVolume {
     let per_stripe = code.layout().num_data_cells();
     let stripes = DATA_SPACE.div_ceil(per_stripe);
-    RaidVolume::new(Arc::clone(code), stripes, ELEMENT_BYTES)
+    RaidVolume::in_memory(Arc::clone(code), stripes, ELEMENT_BYTES)
 }
 
 #[cfg(test)]

@@ -129,7 +129,7 @@ pub fn rotation(p: usize, seed: u64) -> Vec<RotationRow> {
                     code: code.name().to_string(),
                     rotated,
                     trace: trace.name.clone(),
-                    lambda: volume.tally().write_balance_rate(),
+                    lambda: volume.ledger().write_balance_rate(),
                 });
             }
         }

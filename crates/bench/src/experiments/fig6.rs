@@ -57,8 +57,8 @@ pub fn run(p: usize, seed: u64) -> Vec<Fig6Row> {
 /// Replays one trace against one code through the library replay engine.
 pub fn run_one(code: &Arc<dyn ArrayCode>, trace: &WriteTrace, profile: DiskProfile) -> Fig6Row {
     let mut volume = volume_for(code);
-    let mut sim = DiskArray::new(volume.disks(), profile);
-    let out = raid_array::replay_write_trace(&mut volume, &mut sim, trace)
+    let sim = DiskArray::new(volume.disks(), profile);
+    let out = raid_array::replay_write_trace(&mut volume, sim, trace)
         .expect("healthy replay");
     Fig6Row {
         code: code.name().to_string(),

@@ -57,9 +57,9 @@ pub fn run_one(
     for failed in 0..disks {
         let mut volume = volume_for(code);
         volume.fail_disk(failed).expect("valid disk");
-        let mut sim = DiskArray::new(disks, profile);
-        sim.fail_disk(failed).expect("valid disk");
-        let out = raid_array::replay_read_patterns(&mut volume, &mut sim, &pats)
+        // attach_sim syncs the failure into the simulator.
+        let sim = DiskArray::new(disks, profile);
+        let out = raid_array::replay_read_patterns(&mut volume, sim, &pats)
             .expect("degraded replay");
         total_ms += out.latencies_ms.iter().sum::<f64>();
         total_eff += out.efficiencies.iter().sum::<f64>();

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use disk_sim::{DiskArray, DiskProfile};
 use raid_array::mttr::estimate_rebuild;
 use raid_array::reliability::estimate_mttdl;
-use raid_array::{replay_write_trace, RaidVolume};
+use raid_array::{
+    replay_write_trace, DiskBackend, FileBackend, MemBackend, RaidVolume, VolumeMeta,
+};
 use raid_core::plan::update::update_complexity;
 use raid_core::schedule::double_failure_schedule;
 use raid_core::{invariants, ArrayCode};
@@ -33,7 +35,16 @@ commands:
   estimate  --code <name> [--p 13] [--stripes 64] [--mttf 1000000]
                                            rebuild times and MTTDL
   batch     --code <name> [--p 13] [--stripes 256] [--element 4096] [--threads 1]
-                                           encode + rebuild a stripe batch, timed
+            [--backend mem|file] [--dir <dir>]
+                                           encode + rebuild a stripe batch through
+                                           the volume pipeline, timed
+  volume    --code <name> --dir <dir> [--p 7] [--stripes 8] [--element 64]
+                                           full lifecycle on a file-backed volume
+                                           (create, write, fail, degraded read,
+                                           rebuild) cross-checked byte-for-byte
+                                           against an in-memory twin
+  fsck      --dir <dir> [--repair true]    reopen a file-backed volume, verify
+                                           parity, optionally rebuild + scrub
 
 codes: hv rdp evenodd xcode hcode hdp pcode liberation";
 
@@ -51,6 +62,8 @@ pub fn run(parsed: &Parsed) -> Result<String, String> {
         "replay" => replay(parsed),
         "estimate" => estimate(parsed),
         "batch" => batch(parsed),
+        "volume" => volume_lifecycle(parsed),
+        "fsck" => fsck(parsed),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -191,9 +204,9 @@ fn replay(parsed: &Parsed) -> Result<String, String> {
     let stripes = parsed.get_or("stripes", 8usize)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let trace = parse_trace(&text).map_err(|e| e.to_string())?;
-    let mut volume = RaidVolume::new(Arc::clone(&code), stripes, 64);
-    let mut sim = DiskArray::new(volume.disks(), DiskProfile::savvio_10k());
-    let out = replay_write_trace(&mut volume, &mut sim, &trace).map_err(|e| e.to_string())?;
+    let mut volume = RaidVolume::in_memory(Arc::clone(&code), stripes, 64);
+    let sim = DiskArray::new(volume.disks(), DiskProfile::savvio_10k());
+    let out = replay_write_trace(&mut volume, sim, &trace).map_err(|e| e.to_string())?;
     Ok(format!(
         "{} at p = {p}: replayed '{}' ({} patterns)\n\
          total write requests: {}\n\
@@ -227,47 +240,206 @@ fn estimate(parsed: &Parsed) -> Result<String, String> {
     ))
 }
 
+/// Builds the backend requested by `--backend` (`mem` default; `file`
+/// needs `--dir`).
+fn backend_from(
+    parsed: &Parsed,
+    code: &Arc<dyn ArrayCode>,
+    stripes: usize,
+    element: usize,
+) -> Result<Box<dyn DiskBackend>, String> {
+    let kind = parsed.get_or("backend", "mem".to_string())?;
+    let layout = code.layout();
+    match kind.as_str() {
+        "mem" => {
+            Ok(Box::new(MemBackend::new(layout.cols(), stripes * layout.rows(), element)))
+        }
+        "file" => {
+            let dir = parsed.require("dir")?;
+            let b = FileBackend::create(dir, layout.cols(), stripes * layout.rows(), element)
+                .map_err(|e| format!("{dir}: {e}"))?;
+            Ok(Box::new(b))
+        }
+        other => Err(format!("unknown backend '{other}' (expected mem or file)")),
+    }
+}
+
+/// A deterministic payload for the lifecycle/batch demos.
+fn seeded_payload(bytes: usize, seed: u8) -> Vec<u8> {
+    (0..bytes).map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed)).collect()
+}
+
 fn batch(parsed: &Parsed) -> Result<String, String> {
     let (code, p) = code_from(parsed, 13)?;
     let stripes = parsed.get_or("stripes", 256usize)?;
     let element = parsed.get_or("element", 4096usize)?;
     let threads = parsed.get_or("threads", 1usize)?;
-    let layout = code.layout();
-    let mut batch: Vec<raid_core::Stripe> = (0..stripes)
-        .map(|i| {
-            let mut s = raid_core::Stripe::for_layout(layout, element);
-            s.fill_data_seeded(layout, i as u64 + 1);
-            s
-        })
-        .collect();
-    let bytes = (stripes * layout.num_data_cells() * element) as f64;
+    let backend = backend_from(parsed, &code, stripes, element)?;
+    let mut volume = RaidVolume::new(Arc::clone(&code), stripes, element, backend)
+        .map_err(|e| e.to_string())?;
+
+    // Populate the whole data space (full-stripe writes — no RMW reads).
+    let data = seeded_payload(volume.data_elements() * element, 11);
+    volume.write(0, &data).map_err(|e| e.to_string())?;
+
+    let bytes = data.len() as f64;
     let mib_s = |secs: f64| bytes / (1 << 20) as f64 / secs;
 
+    // Batch re-encode: data elements are read back through the pipeline and
+    // the XOR kernels run on worker threads.
     let t0 = std::time::Instant::now();
-    raid_array::encode_batch(code.as_ref(), &mut batch, threads);
+    let encode_io = volume.encode_all(threads).map_err(|e| e.to_string())?;
     let encode_s = t0.elapsed().as_secs_f64();
 
-    let lost = [0usize, layout.cols() / 2];
+    let lost = [0usize, volume.disks() / 2];
+    for &d in &lost {
+        volume.fail_disk(d).map_err(|e| e.to_string())?;
+    }
     let t1 = std::time::Instant::now();
-    raid_array::rebuild_batch(code.as_ref(), &mut batch, &lost, threads)
-        .map_err(|e| e.to_string())?;
+    let rebuild_io = volume.rebuild_all(threads).map_err(|e| e.to_string())?;
     let rebuild_s = t1.elapsed().as_secs_f64();
-    let intact = batch.iter().all(|s| code.is_consistent(s));
+    let intact = volume.verify_all();
 
     Ok(format!(
-        "{} at p = {p}: {stripes} stripes × {element} B elements, {threads} thread(s)\n\
-         encode:  {:.1} ms ({:.0} MiB/s of data)\n\
-         rebuild: {:.1} ms ({:.0} MiB/s of data, disks #{} and #{})\n\
+        "{} at p = {p}: {stripes} stripes × {element} B elements, {threads} thread(s), \
+         {} backend\n\
+         encode:  {:.1} ms ({:.0} MiB/s of data, {} element requests)\n\
+         rebuild: {:.1} ms ({:.0} MiB/s of data, {} element requests, disks #{} and #{})\n\
          all stripes consistent after rebuild: {}",
         code.name(),
+        volume.backend_kind(),
         encode_s * 1e3,
         mib_s(encode_s),
+        encode_io.total(),
         rebuild_s * 1e3,
         mib_s(rebuild_s),
+        rebuild_io.total(),
         lost[0] + 1,
         lost[1] + 1,
         if intact { "yes ✔" } else { "NO ✘" },
     ))
+}
+
+/// The full lifecycle on a file-backed volume, cross-checked against an
+/// in-memory twin running the identical operation sequence: every read
+/// must be byte-identical between the two backends.
+fn volume_lifecycle(parsed: &Parsed) -> Result<String, String> {
+    let (code, p) = code_from(parsed, 7)?;
+    let name = parsed.require("code")?;
+    let dir = parsed.require("dir")?;
+    let stripes = parsed.get_or("stripes", 8usize)?;
+    let element = parsed.get_or("element", 64usize)?;
+    let layout = code.layout();
+
+    let file_backend =
+        FileBackend::create(dir, layout.cols(), stripes * layout.rows(), element)
+            .map_err(|e| format!("{dir}: {e}"))?;
+    VolumeMeta {
+        code: name.to_string(),
+        p,
+        stripes,
+        element_size: element,
+        rotate: false,
+    }
+    .save(dir)
+    .map_err(|e| format!("{dir}: {e}"))?;
+    let mut disk = RaidVolume::new(Arc::clone(&code), stripes, element, Box::new(file_backend))
+        .map_err(|e| e.to_string())?;
+    let mut mem = RaidVolume::in_memory(Arc::clone(&code), stripes, element);
+
+    // Identical operation trace against both volumes.
+    let data = seeded_payload(disk.data_elements() * element, 29);
+    let mut steps = Vec::new();
+    for v in [&mut disk, &mut mem] {
+        v.write(0, &data).map_err(|e| e.to_string())?;
+    }
+    steps.push(format!("wrote {} data elements", disk.data_elements()));
+
+    let failures = [1usize, layout.cols() / 2 + 1];
+    for v in [&mut disk, &mut mem] {
+        for &d in &failures {
+            v.fail_disk(d).map_err(|e| e.to_string())?;
+        }
+    }
+    steps.push(format!("failed disks #{} and #{}", failures[0] + 1, failures[1] + 1));
+
+    let (from_disk, io) = disk.read(0, disk.data_elements()).map_err(|e| e.to_string())?;
+    let (from_mem, _) = mem.read(0, mem.data_elements()).map_err(|e| e.to_string())?;
+    if from_disk != data || from_disk != from_mem {
+        return Err("degraded reads diverged between file and mem backends".into());
+    }
+    steps.push(format!("degraded full read byte-identical ({} element reads)", io.total_reads()));
+
+    for v in [&mut disk, &mut mem] {
+        v.rebuild().map_err(|e| e.to_string())?;
+        if !v.verify_all() {
+            return Err(format!("{} backend inconsistent after rebuild", v.backend_kind()));
+        }
+    }
+    steps.push("rebuilt onto spares, parity verified on both".into());
+
+    let (from_disk, _) = disk.read(0, disk.data_elements()).map_err(|e| e.to_string())?;
+    let (from_mem, _) = mem.read(0, mem.data_elements()).map_err(|e| e.to_string())?;
+    if from_disk != data || from_disk != from_mem {
+        return Err("post-rebuild reads diverged between file and mem backends".into());
+    }
+    steps.push("post-rebuild full read byte-identical".into());
+
+    let mut out = format!(
+        "{} at p = {p}: lifecycle on file backend at {dir} vs in-memory twin\n",
+        code.name()
+    );
+    for s in &steps {
+        out.push_str(&format!("  ✔ {s}\n"));
+    }
+    out.push_str("file and mem backends byte-identical under the same trace ✔");
+    Ok(out)
+}
+
+/// Reopens a file-backed volume and verifies it; `--repair true` rebuilds
+/// failed disks and scrubs silent corruption first.
+fn fsck(parsed: &Parsed) -> Result<String, String> {
+    let dir = parsed.require("dir")?;
+    let meta = VolumeMeta::load(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let code = build(&meta.code, meta.p)?;
+    let backend = FileBackend::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let mut volume = RaidVolume::open(Arc::clone(&code), Box::new(backend), meta.rotate)
+        .map_err(|e| e.to_string())?;
+    let repair = parsed.get_or("repair", false)?;
+
+    let mut out = format!(
+        "{} at p = {}: {} stripes × {} B elements on {} disks ({dir})\n",
+        code.name(),
+        meta.p,
+        volume.stripes(),
+        volume.element_size(),
+        volume.disks(),
+    );
+    let failed = volume.failed_disks();
+    if !failed.is_empty() {
+        out.push_str(&format!("  failed disks: {failed:?}\n"));
+        if repair {
+            let io = volume.rebuild().map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                "  rebuilt onto spares ({} element requests)\n",
+                io.total()
+            ));
+        }
+    }
+    if repair && volume.failed_disks().is_empty() {
+        let findings = volume.scrub().map_err(|e| e.to_string())?;
+        if !findings.is_empty() {
+            out.push_str(&format!("  scrub repaired {} stripe(s)\n", findings.len()));
+        }
+    }
+    if volume.verify_all() {
+        out.push_str("fsck: volume clean ✔");
+    } else if !volume.failed_disks().is_empty() {
+        out.push_str("fsck: volume DEGRADED — run with --repair true to rebuild ✘");
+    } else {
+        out.push_str("fsck: PARITY INCONSISTENT ✘");
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -291,6 +463,61 @@ mod tests {
             assert!(out.contains("12 stripes"), "{out}");
             assert!(out.contains("consistent after rebuild: yes"), "{out}");
         }
+    }
+
+    #[test]
+    fn batch_runs_on_a_file_backend() {
+        let dir = std::env::temp_dir().join("hvraid_batch_file_test");
+        let out = run_line(&[
+            "batch", "--code", "hv", "--p", "5", "--stripes", "3", "--element", "32",
+            "--backend", "file", "--dir", dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("file backend"), "{out}");
+        assert!(out.contains("consistent after rebuild: yes"), "{out}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn volume_lifecycle_and_fsck_round_trip() {
+        let dir = std::env::temp_dir().join("hvraid_volume_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run_line(&[
+            "volume", "--code", "hv", "--p", "7", "--stripes", "4", "--element", "32",
+            "--dir", dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("byte-identical under the same trace ✔"), "{out}");
+
+        // The on-disk volume the lifecycle left behind passes fsck.
+        let out = run_line(&["fsck", "--dir", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains("volume clean ✔"), "{out}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fsck_repairs_a_degraded_on_disk_volume() {
+        let dir = std::env::temp_dir().join("hvraid_fsck_repair_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_line(&[
+            "volume", "--code", "hv", "--p", "5", "--stripes", "3", "--element", "16",
+            "--dir", dir.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        // Fail a disk directly on the reopened backend, as a crash would
+        // leave it.
+        {
+            let mut b = raid_array::FileBackend::open(&dir).unwrap();
+            b.fail(1).unwrap();
+        }
+        let out = run_line(&["fsck", "--dir", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains("DEGRADED"), "{out}");
+        let out =
+            run_line(&["fsck", "--dir", dir.to_str().unwrap(), "--repair", "true"]).unwrap();
+        assert!(out.contains("rebuilt onto spares"), "{out}");
+        assert!(out.contains("volume clean ✔"), "{out}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

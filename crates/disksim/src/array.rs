@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use raid_core::io::RequestSet;
+
 use crate::profile::DiskProfile;
 
 /// Error returned when I/O targets an unusable disk.
@@ -17,6 +19,11 @@ pub enum DiskError {
         /// The failed disk.
         disk: usize,
     },
+    /// The disk's medium rejected the transfer (real-backend I/O error).
+    Io {
+        /// The disk whose transfer failed.
+        disk: usize,
+    },
 }
 
 impl fmt::Display for DiskError {
@@ -24,6 +31,7 @@ impl fmt::Display for DiskError {
         match self {
             DiskError::NoSuchDisk { disk } => write!(f, "no disk #{disk} in the array"),
             DiskError::DiskFailed { disk } => write!(f, "disk #{disk} has failed"),
+            DiskError::Io { disk } => write!(f, "I/O error on disk #{disk}"),
         }
     }
 }
@@ -48,8 +56,9 @@ pub struct BatchRecord {
     pub start_ms: f64,
     /// Simulated completion time (ms).
     pub end_ms: f64,
-    /// Requests served per disk.
-    pub per_disk: Vec<u64>,
+    /// The request set the batch served — the very object accounting
+    /// absorbed, so timing and ledgers can never disagree.
+    pub io: RequestSet,
 }
 
 impl BatchRecord {
@@ -60,7 +69,7 @@ impl BatchRecord {
 
     /// Total requests in the batch.
     pub fn requests(&self) -> u64 {
-        self.per_disk.iter().sum()
+        self.io.total()
     }
 }
 
@@ -164,20 +173,41 @@ impl DiskArray {
     /// Returns the batch makespan in milliseconds and advances the clock
     /// past the batch.
     ///
+    /// This is the index-list convenience over [`DiskArray::run_requests`];
+    /// the requests are accounted as reads.
+    ///
     /// # Errors
     ///
     /// Returns [`DiskError`] if any request names a missing or failed disk;
     /// the batch is then not executed at all.
     pub fn run_batch(&mut self, requests: impl IntoIterator<Item = usize>) -> Result<f64, DiskError> {
-        let mut per_disk = vec![0u64; self.disks.len()];
+        let mut rs = RequestSet::new(self.disks.len());
         for disk in requests {
             if disk >= self.disks.len() {
                 return Err(DiskError::NoSuchDisk { disk });
             }
-            if self.disks[disk].failed {
+            rs.add_read(disk);
+        }
+        self.run_requests(&rs)
+    }
+
+    /// Runs one lowered operation's [`RequestSet`]: each disk serves its
+    /// per-disk total (reads + writes) FIFO from the current instant.
+    /// Returns the makespan in milliseconds and advances the clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError`] if the set addresses a missing disk or puts
+    /// requests on a failed one; the batch is then not executed at all.
+    pub fn run_requests(&mut self, requests: &RequestSet) -> Result<f64, DiskError> {
+        if requests.disks() > self.disks.len() {
+            return Err(DiskError::NoSuchDisk { disk: self.disks.len() });
+        }
+        let per_disk = requests.per_disk_totals();
+        for (disk, &n) in per_disk.iter().enumerate() {
+            if n > 0 && self.disks[disk].failed {
                 return Err(DiskError::DiskFailed { disk });
             }
-            per_disk[disk] += 1;
         }
         let service = self.profile.element_service_ms();
         let start = self.now_ms;
@@ -195,7 +225,11 @@ impl DiskArray {
         }
         self.now_ms = makespan_end;
         if self.logging {
-            self.log.push(BatchRecord { start_ms: start, end_ms: makespan_end, per_disk });
+            self.log.push(BatchRecord {
+                start_ms: start,
+                end_ms: makespan_end,
+                io: requests.clone(),
+            });
         }
         Ok(makespan_end - start)
     }
@@ -280,10 +314,47 @@ mod tests {
         arr.run_batch([1]).unwrap();
         let log = arr.log();
         assert_eq!(log.len(), 2);
-        assert_eq!(log[0].per_disk, vec![2, 1]);
+        assert_eq!(log[0].io.per_disk_totals(), vec![2, 1]);
         assert_eq!(log[0].requests(), 3);
         assert!((log[0].makespan_ms() - 2.0).abs() < 1e-12);
         assert!(log[1].start_ms >= log[0].start_ms);
+    }
+
+    #[test]
+    fn request_sets_time_like_equivalent_batches() {
+        let mut a = DiskArray::new(3, unit_profile());
+        let mut b = DiskArray::new(3, unit_profile());
+        let mut rs = RequestSet::new(3);
+        rs.add_read(0);
+        rs.add_read(0);
+        rs.add_data_write(1);
+        rs.add_parity_write(2);
+        let t_rs = a.run_requests(&rs).unwrap();
+        let t_batch = b.run_batch([0, 0, 1, 2]).unwrap();
+        assert!((t_rs - t_batch).abs() < 1e-12);
+        assert_eq!(a.served(), b.served());
+    }
+
+    #[test]
+    fn request_set_on_failed_disk_is_atomic() {
+        let mut arr = DiskArray::new(2, unit_profile());
+        arr.fail_disk(1).unwrap();
+        let mut rs = RequestSet::new(2);
+        rs.add_read(0);
+        rs.add_parity_write(1);
+        assert_eq!(arr.run_requests(&rs).unwrap_err(), DiskError::DiskFailed { disk: 1 });
+        assert_eq!(arr.served(), vec![0, 0]);
+        // A set that leaves the failed disk idle still runs.
+        let mut quiet = RequestSet::new(2);
+        quiet.add_read(0);
+        assert!(arr.run_requests(&quiet).is_ok());
+    }
+
+    #[test]
+    fn oversized_request_set_rejected() {
+        let mut arr = DiskArray::new(2, unit_profile());
+        let rs = RequestSet::new(3);
+        assert!(matches!(arr.run_requests(&rs), Err(DiskError::NoSuchDisk { .. })));
     }
 
     #[test]

@@ -9,7 +9,11 @@
 //! * per-disk FIFO service with a seek-latency + bandwidth cost per element
 //!   request ([`profile::DiskProfile`]);
 //! * batches of element requests issued simultaneously, completing when the
-//!   slowest disk drains ([`array::DiskArray`]);
+//!   slowest disk drains ([`array::DiskArray`]) — fed either as index lists
+//!   ([`array::DiskArray::run_batch`]) or as the per-disk
+//!   [`raid_core::io::RequestSet`] a lowered volume operation produced
+//!   ([`array::DiskArray::run_requests`]), so timing and accounting consume
+//!   the same stream;
 //! * failed disks that reject I/O ([`array::DiskArray::fail_disk`]);
 //! * parallel recovery-chain execution for double-failure repair
 //!   ([`recovery`]), combining the paper's `Lc · Re` critical-path model

@@ -1,23 +1,50 @@
 //! Per-disk I/O accounting and the load-balancing rate λ of Eq. (7).
+//!
+//! Two types cover the whole workspace's accounting needs:
+//!
+//! * [`RequestSet`] — the per-disk element requests of **one** lowered
+//!   operation (one pipeline commit): how many element reads, data-element
+//!   writes and parity-element writes each disk must serve. This is the
+//!   object handed verbatim to the disk simulator, so timing and
+//!   accounting can never disagree about what was issued.
+//! * [`IoLedger`] — cumulative counters built by absorbing request sets,
+//!   replacing the seed's separate `IoReceipt` (per operation) and
+//!   `IoTally` (per experiment): a ledger over one request set *is* the
+//!   operation's receipt, and a ledger over a whole replay is the
+//!   experiment's tally. The paper's λ (Eq. 7) derives from it.
 
 use std::fmt;
 
-/// Read/write request counts per disk for one experiment.
+/// Per-disk element requests of one lowered operation.
+///
+/// Element requests are the paper's unit: one request = one element-sized
+/// transfer to or from one disk. Writes are split into data and parity so
+/// update-complexity accounting survives the lowering.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct IoTally {
+pub struct RequestSet {
     reads: Vec<u64>,
-    writes: Vec<u64>,
+    data_writes: Vec<u64>,
+    parity_writes: Vec<u64>,
 }
 
-impl IoTally {
-    /// A zeroed tally for `disks` disks.
+impl RequestSet {
+    /// An empty request set over `disks` disks.
     pub fn new(disks: usize) -> Self {
-        IoTally { reads: vec![0; disks], writes: vec![0; disks] }
+        RequestSet {
+            reads: vec![0; disks],
+            data_writes: vec![0; disks],
+            parity_writes: vec![0; disks],
+        }
     }
 
-    /// Number of disks tracked.
+    /// Number of disks addressed.
     pub fn disks(&self) -> usize {
         self.reads.len()
+    }
+
+    /// Records one element read on `disk`.
+    pub fn add_read(&mut self, disk: usize) {
+        self.reads[disk] += 1;
     }
 
     /// Records `n` element reads on `disk`.
@@ -25,9 +52,14 @@ impl IoTally {
         self.reads[disk] += n;
     }
 
-    /// Records `n` element writes on `disk`.
-    pub fn add_writes(&mut self, disk: usize, n: u64) {
-        self.writes[disk] += n;
+    /// Records one data-element write on `disk`.
+    pub fn add_data_write(&mut self, disk: usize) {
+        self.data_writes[disk] += 1;
+    }
+
+    /// Records one parity-element write on `disk`.
+    pub fn add_parity_write(&mut self, disk: usize) {
+        self.parity_writes[disk] += 1;
     }
 
     /// Per-disk read counts.
@@ -35,9 +67,156 @@ impl IoTally {
         &self.reads
     }
 
-    /// Per-disk write counts.
-    pub fn writes(&self) -> &[u64] {
-        &self.writes
+    /// Per-disk write counts (data + parity).
+    pub fn writes_per_disk(&self) -> Vec<u64> {
+        self.data_writes
+            .iter()
+            .zip(&self.parity_writes)
+            .map(|(d, p)| d + p)
+            .collect()
+    }
+
+    /// Per-disk total requests (reads + writes) — what each spindle must
+    /// serve for this operation; the disk simulator's input.
+    pub fn per_disk_totals(&self) -> Vec<u64> {
+        self.reads
+            .iter()
+            .zip(&self.data_writes)
+            .zip(&self.parity_writes)
+            .map(|((r, d), p)| r + d + p)
+            .collect()
+    }
+
+    /// Total element reads.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Total data-element writes.
+    pub fn data_writes(&self) -> u64 {
+        self.data_writes.iter().sum()
+    }
+
+    /// Total parity-element writes.
+    pub fn parity_writes(&self) -> u64 {
+        self.parity_writes.iter().sum()
+    }
+
+    /// Total element writes (data + parity).
+    pub fn total_writes(&self) -> u64 {
+        self.data_writes() + self.parity_writes()
+    }
+
+    /// Total requests.
+    pub fn total(&self) -> u64 {
+        self.total_reads() + self.total_writes()
+    }
+
+    /// True if no request was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Merges another request set into this one (same disk count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if disk counts differ.
+    pub fn merge(&mut self, other: &RequestSet) {
+        assert_eq!(self.disks(), other.disks(), "request set disk count mismatch");
+        for (a, b) in self.reads.iter_mut().zip(&other.reads) {
+            *a += b;
+        }
+        for (a, b) in self.data_writes.iter_mut().zip(&other.data_writes) {
+            *a += b;
+        }
+        for (a, b) in self.parity_writes.iter_mut().zip(&other.parity_writes) {
+            *a += b;
+        }
+    }
+}
+
+/// Cumulative per-disk read/write counters: the single accounting type of
+/// the workspace (one ledger per operation is that operation's receipt; one
+/// ledger per experiment is its tally).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IoLedger {
+    reads: Vec<u64>,
+    data_writes: Vec<u64>,
+    parity_writes: Vec<u64>,
+}
+
+impl IoLedger {
+    /// A zeroed ledger for `disks` disks.
+    pub fn new(disks: usize) -> Self {
+        IoLedger {
+            reads: vec![0; disks],
+            data_writes: vec![0; disks],
+            parity_writes: vec![0; disks],
+        }
+    }
+
+    /// Number of disks tracked.
+    pub fn disks(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Absorbs one operation's request set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if disk counts differ.
+    pub fn absorb(&mut self, rs: &RequestSet) {
+        assert_eq!(self.disks(), rs.disks(), "ledger disk count mismatch");
+        for (a, b) in self.reads.iter_mut().zip(rs.reads()) {
+            *a += b;
+        }
+        for (a, b) in self.data_writes.iter_mut().zip(&rs.data_writes) {
+            *a += b;
+        }
+        for (a, b) in self.parity_writes.iter_mut().zip(&rs.parity_writes) {
+            *a += b;
+        }
+    }
+
+    /// Records `n` element reads on `disk` (planner-side accounting that
+    /// has no materialized [`RequestSet`]).
+    pub fn add_reads(&mut self, disk: usize, n: u64) {
+        self.reads[disk] += n;
+    }
+
+    /// Records `n` data-element writes on `disk`.
+    pub fn add_data_writes(&mut self, disk: usize, n: u64) {
+        self.data_writes[disk] += n;
+    }
+
+    /// Records `n` parity-element writes on `disk`.
+    pub fn add_parity_writes(&mut self, disk: usize, n: u64) {
+        self.parity_writes[disk] += n;
+    }
+
+    /// Per-disk read counts.
+    pub fn reads(&self) -> &[u64] {
+        &self.reads
+    }
+
+    /// Per-disk write counts (data + parity).
+    pub fn writes(&self) -> Vec<u64> {
+        self.data_writes
+            .iter()
+            .zip(&self.parity_writes)
+            .map(|(d, p)| d + p)
+            .collect()
+    }
+
+    /// Per-disk total requests (reads + writes).
+    pub fn per_disk_totals(&self) -> Vec<u64> {
+        self.reads
+            .iter()
+            .zip(&self.data_writes)
+            .zip(&self.parity_writes)
+            .map(|((r, d), p)| r + d + p)
+            .collect()
     }
 
     /// Total reads across all disks.
@@ -45,9 +224,19 @@ impl IoTally {
         self.reads.iter().sum()
     }
 
+    /// Total data-element writes.
+    pub fn data_writes(&self) -> u64 {
+        self.data_writes.iter().sum()
+    }
+
+    /// Total parity-element writes.
+    pub fn parity_writes(&self) -> u64 {
+        self.parity_writes.iter().sum()
+    }
+
     /// Total writes across all disks.
     pub fn total_writes(&self) -> u64 {
-        self.writes.iter().sum()
+        self.data_writes() + self.parity_writes()
     }
 
     /// Total requests (reads + writes).
@@ -55,18 +244,43 @@ impl IoTally {
         self.total_reads() + self.total_writes()
     }
 
-    /// Merges another tally into this one.
+    /// Merges another ledger into this one.
     ///
     /// # Panics
     ///
     /// Panics if disk counts differ.
-    pub fn merge(&mut self, other: &IoTally) {
-        assert_eq!(self.disks(), other.disks(), "tally disk count mismatch");
+    pub fn merge(&mut self, other: &IoLedger) {
+        assert_eq!(self.disks(), other.disks(), "ledger disk count mismatch");
         for (a, b) in self.reads.iter_mut().zip(&other.reads) {
             *a += b;
         }
-        for (a, b) in self.writes.iter_mut().zip(&other.writes) {
+        for (a, b) in self.data_writes.iter_mut().zip(&other.data_writes) {
             *a += b;
+        }
+        for (a, b) in self.parity_writes.iter_mut().zip(&other.parity_writes) {
+            *a += b;
+        }
+    }
+
+    /// The ledger's growth since `baseline` (an earlier snapshot of the
+    /// same ledger) — the replay engine's per-experiment delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if disk counts differ or `baseline` is not an earlier
+    /// snapshot (some counter would go negative).
+    pub fn delta_since(&self, baseline: &IoLedger) -> IoLedger {
+        assert_eq!(self.disks(), baseline.disks(), "ledger disk count mismatch");
+        let sub = |a: &[u64], b: &[u64]| -> Vec<u64> {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| x.checked_sub(*y).expect("baseline is not an earlier snapshot"))
+                .collect()
+        };
+        IoLedger {
+            reads: sub(&self.reads, &baseline.reads),
+            data_writes: sub(&self.data_writes, &baseline.data_writes),
+            parity_writes: sub(&self.parity_writes, &baseline.parity_writes),
         }
     }
 
@@ -77,14 +291,12 @@ impl IoTally {
     /// another received some — the most unbalanced outcome — and 1.0 when
     /// no disk received any write.
     pub fn write_balance_rate(&self) -> f64 {
-        balance(&self.writes)
+        balance(&self.writes())
     }
 
     /// λ computed over total (read + write) requests.
     pub fn total_balance_rate(&self) -> f64 {
-        let totals: Vec<u64> =
-            self.reads.iter().zip(&self.writes).map(|(r, w)| r + w).collect();
-        balance(&totals)
+        balance(&self.per_disk_totals())
     }
 }
 
@@ -100,9 +312,15 @@ fn balance(counts: &[u64]) -> f64 {
     }
 }
 
-impl fmt::Display for IoTally {
+impl fmt::Display for IoLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "reads={:?} writes={:?} λw={:.2}", self.reads, self.writes, self.write_balance_rate())
+        write!(
+            f,
+            "reads={:?} writes={:?} λw={:.2}",
+            self.reads,
+            self.writes(),
+            self.write_balance_rate()
+        )
     }
 }
 
@@ -111,51 +329,98 @@ mod tests {
     use super::*;
 
     #[test]
-    fn totals_and_merge() {
-        let mut a = IoTally::new(3);
+    fn request_set_totals_and_split() {
+        let mut rs = RequestSet::new(3);
+        rs.add_read(0);
+        rs.add_reads(0, 4);
+        rs.add_data_write(1);
+        rs.add_parity_write(2);
+        rs.add_parity_write(2);
+        assert_eq!(rs.total_reads(), 5);
+        assert_eq!(rs.data_writes(), 1);
+        assert_eq!(rs.parity_writes(), 2);
+        assert_eq!(rs.total_writes(), 3);
+        assert_eq!(rs.total(), 8);
+        assert_eq!(rs.per_disk_totals(), vec![5, 1, 2]);
+        assert_eq!(rs.writes_per_disk(), vec![0, 1, 2]);
+        assert!(!rs.is_empty());
+        assert!(RequestSet::new(2).is_empty());
+    }
+
+    #[test]
+    fn ledger_absorbs_and_merges() {
+        let mut a = IoLedger::new(3);
         a.add_reads(0, 5);
-        a.add_writes(2, 7);
-        let mut b = IoTally::new(3);
-        b.add_writes(0, 1);
-        b.add_writes(1, 2);
-        b.add_writes(2, 3);
-        a.merge(&b);
+        a.add_parity_writes(2, 7);
+        let mut rs = RequestSet::new(3);
+        rs.add_data_write(0);
+        rs.add_data_write(1);
+        rs.add_data_write(1);
+        rs.add_parity_write(2);
+        rs.add_parity_write(2);
+        rs.add_parity_write(2);
+        a.absorb(&rs);
         assert_eq!(a.total_reads(), 5);
         assert_eq!(a.total_writes(), 13);
         assert_eq!(a.total(), 18);
-        assert_eq!(a.writes(), &[1, 2, 10]);
+        assert_eq!(a.writes(), vec![1, 2, 10]);
+
+        let mut b = IoLedger::new(3);
+        b.add_reads(1, 2);
+        b.merge(&a);
+        assert_eq!(b.total(), 20);
     }
 
     #[test]
     fn lambda_matches_equation_seven() {
-        let mut t = IoTally::new(4);
+        let mut t = IoLedger::new(4);
         for (d, n) in [(0, 10u64), (1, 5), (2, 20), (3, 10)] {
-            t.add_writes(d, n);
+            t.add_data_writes(d, n);
         }
         assert!((t.write_balance_rate() - 4.0).abs() < 1e-12);
     }
 
     #[test]
     fn lambda_edge_cases() {
-        let t = IoTally::new(2);
+        let t = IoLedger::new(2);
         assert_eq!(t.write_balance_rate(), 1.0);
-        let mut t2 = IoTally::new(2);
-        t2.add_writes(0, 3);
+        let mut t2 = IoLedger::new(2);
+        t2.add_data_writes(0, 3);
         assert!(t2.write_balance_rate().is_infinite());
     }
 
     #[test]
     #[should_panic(expected = "mismatch")]
     fn merge_requires_same_shape() {
-        let mut a = IoTally::new(2);
-        a.merge(&IoTally::new(3));
+        let mut a = IoLedger::new(2);
+        a.merge(&IoLedger::new(3));
     }
 
     #[test]
     fn total_balance_combines_reads_and_writes() {
-        let mut t = IoTally::new(2);
+        let mut t = IoLedger::new(2);
         t.add_reads(0, 4);
-        t.add_writes(1, 2);
+        t.add_data_writes(1, 2);
         assert!((t.total_balance_rate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_since_subtracts_a_snapshot() {
+        let mut t = IoLedger::new(2);
+        t.add_reads(0, 4);
+        let snap = t.clone();
+        t.add_reads(0, 1);
+        t.add_data_writes(1, 3);
+        let d = t.delta_since(&snap);
+        assert_eq!(d.total_reads(), 1);
+        assert_eq!(d.total_writes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier snapshot")]
+    fn delta_rejects_future_baseline() {
+        let mut t = IoLedger::new(1);
+        t.add_reads(0, 4);
+        IoLedger::new(1).delta_since(&t);
     }
 }

@@ -19,7 +19,8 @@
 //! * [`plan`] — I/O planners: parity-update closure (update complexity),
 //!   partial-stripe-write cost (Fig. 6), degraded reads (Fig. 7), and the
 //!   hybrid-chain single-disk recovery optimizer (Fig. 9a);
-//! * [`io`] — per-disk I/O tallies and the load-balancing rate λ of Eq. (7);
+//! * [`io`] — per-disk request sets, the cumulative [`io::IoLedger`], and
+//!   the load-balancing rate λ of Eq. (7);
 //! * [`invariants`] — structural checkers shared by every code's test suite.
 //!
 //! The trait [`code::ArrayCode`] ties a layout to its construction

@@ -7,7 +7,7 @@
 //! of those writes feeds the load-balancing rate λ (Fig. 6b).
 
 use crate::geometry::Cell;
-use crate::io::IoTally;
+use crate::io::IoLedger;
 use crate::layout::Layout;
 use crate::plan::update::parity_updates;
 
@@ -26,10 +26,14 @@ impl WritePlan {
         self.data_writes.len() + self.parity_writes.len()
     }
 
-    /// Adds this plan's writes to a per-disk tally.
-    pub fn record(&self, tally: &mut IoTally) {
-        for c in self.data_writes.iter().chain(&self.parity_writes) {
-            tally.add_writes(c.col, 1);
+    /// Adds this plan's writes to a per-disk ledger, keeping the
+    /// data/parity split.
+    pub fn record(&self, ledger: &mut IoLedger) {
+        for c in &self.data_writes {
+            ledger.add_data_writes(c.col, 1);
+        }
+        for c in &self.parity_writes {
+            ledger.add_parity_writes(c.col, 1);
         }
     }
 }
@@ -136,15 +140,15 @@ pub fn write_cost(layout: &Layout, plan: &WritePlan) -> WriteCost {
 pub fn trace_write_requests(
     layout: &Layout,
     patterns: impl IntoIterator<Item = (usize, usize)>,
-) -> (u64, IoTally) {
-    let mut tally = IoTally::new(layout.cols());
+) -> (u64, IoLedger) {
+    let mut ledger = IoLedger::new(layout.cols());
     let mut total = 0u64;
     for (start, len) in patterns {
         let plan = plan_partial_write(layout, start, len);
         total += plan.total_writes() as u64;
-        plan.record(&mut tally);
+        plan.record(&mut ledger);
     }
-    (total, tally)
+    (total, ledger)
 }
 
 #[cfg(test)]
@@ -201,13 +205,15 @@ mod tests {
     }
 
     #[test]
-    fn tally_and_trace() {
+    fn ledger_and_trace() {
         let l = hv_like();
-        let (total, tally) = trace_write_requests(&l, vec![(0, 2), (2, 2)]);
+        let (total, ledger) = trace_write_requests(&l, vec![(0, 2), (2, 2)]);
         assert_eq!(total, 10);
-        assert_eq!(tally.total_writes(), 10);
+        assert_eq!(ledger.total_writes(), 10);
+        assert_eq!(ledger.data_writes(), 4);
+        assert_eq!(ledger.parity_writes(), 6);
         // All four disks touched.
-        assert!(tally.writes().iter().all(|&w| w > 0));
+        assert!(ledger.writes().iter().all(|&w| w > 0));
     }
 
     #[test]

@@ -1,0 +1,666 @@
+//! Pluggable per-disk storage backends.
+//!
+//! A [`DiskBackend`] is the element read/write/fault surface one physical
+//! disk array exposes to the I/O pipeline: `disks × elements_per_disk`
+//! fixed-size elements, addressed as `(disk, index)` where
+//! `index = stripe · rows + row`. Three implementations cover the
+//! reproduction's needs:
+//!
+//! * [`MemBackend`] — RAM-resident, the default for experiments and tests;
+//! * [`FileBackend`] — one file per disk in a directory, real persistence
+//!   for the `hvraid` CLI (plus `volume.meta` so a volume can be reopened);
+//! * [`FaultyBackend`] — wraps any backend and fails disks at
+//!   deterministic operation counts, for fault-injection tests.
+//!
+//! Backends know nothing about codes or stripes; the volume lowers its
+//! geometry to flat element addresses before calling them.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use disk_sim::DiskError;
+
+/// The element read/write/fault surface of one disk array.
+pub trait DiskBackend: Send {
+    /// Number of disks.
+    fn disks(&self) -> usize;
+
+    /// Element size in bytes.
+    fn element_size(&self) -> usize;
+
+    /// Elements stored per disk (`stripes × rows` for a volume).
+    fn elements_per_disk(&self) -> usize;
+
+    /// Reads element `index` of `disk` into `buf` (exactly
+    /// [`DiskBackend::element_size`] bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError`] for bad addresses, failed disks, or medium
+    /// errors.
+    fn read(&mut self, disk: usize, index: usize, buf: &mut [u8]) -> Result<(), DiskError>;
+
+    /// Writes `data` (exactly [`DiskBackend::element_size`] bytes) to
+    /// element `index` of `disk`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError`] for bad addresses, failed disks, or medium
+    /// errors.
+    fn write(&mut self, disk: usize, index: usize, data: &[u8]) -> Result<(), DiskError>;
+
+    /// Marks `disk` failed: every subsequent request to it errors until
+    /// [`DiskBackend::replace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::NoSuchDisk`] for a bad index.
+    fn fail(&mut self, disk: usize) -> Result<(), DiskError>;
+
+    /// Swaps in a blank spare for `disk`: clears the failure flag and
+    /// zeroes its contents (the rebuild then streams every element back).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiskError::NoSuchDisk`] for a bad index.
+    fn replace(&mut self, disk: usize) -> Result<(), DiskError>;
+
+    /// True if `disk` is currently failed.
+    fn is_failed(&self, disk: usize) -> bool;
+
+    /// Short human-readable backend kind (`"mem"`, `"file"`, …).
+    fn kind(&self) -> &'static str;
+}
+
+fn check_addr(
+    disks: usize,
+    elements: usize,
+    disk: usize,
+    index: usize,
+) -> Result<(), DiskError> {
+    if disk >= disks {
+        return Err(DiskError::NoSuchDisk { disk });
+    }
+    if index >= elements {
+        return Err(DiskError::Io { disk });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// MemBackend
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct MemDisk {
+    data: Vec<u8>,
+    failed: bool,
+}
+
+/// RAM-resident backend: each disk is one zero-initialized byte vector.
+///
+/// A fresh all-zero volume is parity-consistent for any XOR code (every
+/// chain XORs to zero), so no initial encode pass is needed.
+#[derive(Debug, Clone)]
+pub struct MemBackend {
+    element_size: usize,
+    elements_per_disk: usize,
+    disks: Vec<MemDisk>,
+}
+
+impl MemBackend {
+    /// Creates `disks` zeroed disks of `elements_per_disk` elements each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(disks: usize, elements_per_disk: usize, element_size: usize) -> Self {
+        assert!(disks > 0 && elements_per_disk > 0 && element_size > 0);
+        MemBackend {
+            element_size,
+            elements_per_disk,
+            disks: vec![
+                MemDisk { data: vec![0; elements_per_disk * element_size], failed: false };
+                disks
+            ],
+        }
+    }
+}
+
+impl DiskBackend for MemBackend {
+    fn disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    fn element_size(&self) -> usize {
+        self.element_size
+    }
+
+    fn elements_per_disk(&self) -> usize {
+        self.elements_per_disk
+    }
+
+    fn read(&mut self, disk: usize, index: usize, buf: &mut [u8]) -> Result<(), DiskError> {
+        check_addr(self.disks.len(), self.elements_per_disk, disk, index)?;
+        let d = &self.disks[disk];
+        if d.failed {
+            return Err(DiskError::DiskFailed { disk });
+        }
+        let at = index * self.element_size;
+        buf.copy_from_slice(&d.data[at..at + self.element_size]);
+        Ok(())
+    }
+
+    fn write(&mut self, disk: usize, index: usize, data: &[u8]) -> Result<(), DiskError> {
+        check_addr(self.disks.len(), self.elements_per_disk, disk, index)?;
+        let es = self.element_size;
+        let d = &mut self.disks[disk];
+        if d.failed {
+            return Err(DiskError::DiskFailed { disk });
+        }
+        d.data[index * es..(index + 1) * es].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn fail(&mut self, disk: usize) -> Result<(), DiskError> {
+        let d = self.disks.get_mut(disk).ok_or(DiskError::NoSuchDisk { disk })?;
+        d.failed = true;
+        Ok(())
+    }
+
+    fn replace(&mut self, disk: usize) -> Result<(), DiskError> {
+        let d = self.disks.get_mut(disk).ok_or(DiskError::NoSuchDisk { disk })?;
+        d.failed = false;
+        d.data.fill(0);
+        Ok(())
+    }
+
+    fn is_failed(&self, disk: usize) -> bool {
+        self.disks.get(disk).is_some_and(|d| d.failed)
+    }
+
+    fn kind(&self) -> &'static str {
+        "mem"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FileBackend
+// ---------------------------------------------------------------------------
+
+/// One file per disk (`disk-NN.dat`) in a directory, plus `shape.meta`
+/// recording the geometry and `disk-NN.failed` marker files so failure
+/// state survives reopening.
+pub struct FileBackend {
+    dir: PathBuf,
+    element_size: usize,
+    elements_per_disk: usize,
+    files: Vec<File>,
+    failed: Vec<bool>,
+}
+
+impl std::fmt::Debug for FileBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileBackend")
+            .field("dir", &self.dir)
+            .field("disks", &self.files.len())
+            .field("elements_per_disk", &self.elements_per_disk)
+            .field("element_size", &self.element_size)
+            .finish()
+    }
+}
+
+impl FileBackend {
+    fn data_path(dir: &Path, disk: usize) -> PathBuf {
+        dir.join(format!("disk-{disk:02}.dat"))
+    }
+
+    fn failed_path(dir: &Path, disk: usize) -> PathBuf {
+        dir.join(format!("disk-{disk:02}.failed"))
+    }
+
+    /// Creates a fresh zero-filled array under `dir` (created if missing;
+    /// existing disk files are truncated).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directory or files cannot be
+    /// created.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        disks: usize,
+        elements_per_disk: usize,
+        element_size: usize,
+    ) -> std::io::Result<Self> {
+        assert!(disks > 0 && elements_per_disk > 0 && element_size > 0);
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let shape = format!("disks={disks}\nelements_per_disk={elements_per_disk}\nelement_size={element_size}\n");
+        fs::write(dir.join("shape.meta"), shape)?;
+        let mut files = Vec::with_capacity(disks);
+        for disk in 0..disks {
+            let _ = fs::remove_file(Self::failed_path(&dir, disk));
+            let f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(Self::data_path(&dir, disk))?;
+            f.set_len((elements_per_disk * element_size) as u64)?;
+            files.push(f);
+        }
+        Ok(FileBackend {
+            dir,
+            element_size,
+            elements_per_disk,
+            files,
+            failed: vec![false; disks],
+        })
+    }
+
+    /// Reopens an array previously written by [`FileBackend::create`],
+    /// restoring the failure flags from the marker files.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `shape.meta` is missing/malformed or a disk
+    /// file cannot be opened.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let shape = fs::read_to_string(dir.join("shape.meta"))?;
+        let field = |key: &str| -> std::io::Result<usize> {
+            shape
+                .lines()
+                .find_map(|l| l.strip_prefix(key)?.strip_prefix('='))
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("shape.meta missing {key}"),
+                    )
+                })
+        };
+        let disks = field("disks")?;
+        let elements_per_disk = field("elements_per_disk")?;
+        let element_size = field("element_size")?;
+        let mut files = Vec::with_capacity(disks);
+        let mut failed = Vec::with_capacity(disks);
+        for disk in 0..disks {
+            files.push(
+                OpenOptions::new().read(true).write(true).open(Self::data_path(&dir, disk))?,
+            );
+            failed.push(Self::failed_path(&dir, disk).exists());
+        }
+        Ok(FileBackend { dir, element_size, elements_per_disk, files, failed })
+    }
+
+    /// The directory holding the disk files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl DiskBackend for FileBackend {
+    fn disks(&self) -> usize {
+        self.files.len()
+    }
+
+    fn element_size(&self) -> usize {
+        self.element_size
+    }
+
+    fn elements_per_disk(&self) -> usize {
+        self.elements_per_disk
+    }
+
+    fn read(&mut self, disk: usize, index: usize, buf: &mut [u8]) -> Result<(), DiskError> {
+        check_addr(self.files.len(), self.elements_per_disk, disk, index)?;
+        if self.failed[disk] {
+            return Err(DiskError::DiskFailed { disk });
+        }
+        let f = &mut self.files[disk];
+        f.seek(SeekFrom::Start((index * self.element_size) as u64))
+            .and_then(|_| f.read_exact(buf))
+            .map_err(|_| DiskError::Io { disk })
+    }
+
+    fn write(&mut self, disk: usize, index: usize, data: &[u8]) -> Result<(), DiskError> {
+        check_addr(self.files.len(), self.elements_per_disk, disk, index)?;
+        if self.failed[disk] {
+            return Err(DiskError::DiskFailed { disk });
+        }
+        let f = &mut self.files[disk];
+        f.seek(SeekFrom::Start((index * self.element_size) as u64))
+            .and_then(|_| f.write_all(data))
+            .map_err(|_| DiskError::Io { disk })
+    }
+
+    fn fail(&mut self, disk: usize) -> Result<(), DiskError> {
+        if disk >= self.files.len() {
+            return Err(DiskError::NoSuchDisk { disk });
+        }
+        self.failed[disk] = true;
+        let _ = fs::write(Self::failed_path(&self.dir, disk), b"failed\n");
+        Ok(())
+    }
+
+    fn replace(&mut self, disk: usize) -> Result<(), DiskError> {
+        if disk >= self.files.len() {
+            return Err(DiskError::NoSuchDisk { disk });
+        }
+        // A blank spare: truncate to zero and re-extend with zeroes.
+        let f = &mut self.files[disk];
+        f.set_len(0)
+            .and_then(|_| f.set_len((self.elements_per_disk * self.element_size) as u64))
+            .map_err(|_| DiskError::Io { disk })?;
+        self.failed[disk] = false;
+        let _ = fs::remove_file(Self::failed_path(&self.dir, disk));
+        Ok(())
+    }
+
+    fn is_failed(&self, disk: usize) -> bool {
+        self.failed.get(disk).copied().unwrap_or(false)
+    }
+
+    fn kind(&self) -> &'static str {
+        "file"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultyBackend
+// ---------------------------------------------------------------------------
+
+/// One scheduled fault: after `at_op` element operations have been served,
+/// `disk` fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Operation count (reads + writes served so far) that triggers the
+    /// fault.
+    pub at_op: u64,
+    /// The disk to fail.
+    pub disk: usize,
+}
+
+/// Deterministic fault injector wrapping any backend: disks fail at fixed
+/// operation counts, and an optional per-op latency is accumulated so
+/// tests can assert slow-path behavior without wall clocks.
+pub struct FaultyBackend {
+    inner: Box<dyn DiskBackend>,
+    schedule: Vec<FaultPoint>,
+    ops: u64,
+    latency_per_op_ms: f64,
+    accumulated_latency_ms: f64,
+}
+
+impl std::fmt::Debug for FaultyBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyBackend")
+            .field("inner", &self.inner.kind())
+            .field("schedule", &self.schedule)
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
+impl FaultyBackend {
+    /// Wraps `inner`, failing the scheduled disks as operations accrue.
+    pub fn new(inner: Box<dyn DiskBackend>, schedule: Vec<FaultPoint>) -> Self {
+        FaultyBackend {
+            inner,
+            schedule,
+            ops: 0,
+            latency_per_op_ms: 0.0,
+            accumulated_latency_ms: 0.0,
+        }
+    }
+
+    /// Adds a synthetic service latency per element operation.
+    pub fn with_latency(mut self, ms_per_op: f64) -> Self {
+        self.latency_per_op_ms = ms_per_op;
+        self
+    }
+
+    /// Total synthetic latency accumulated so far.
+    pub fn accumulated_latency_ms(&self) -> f64 {
+        self.accumulated_latency_ms
+    }
+
+    /// Operations (reads + writes) served or rejected so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn tick(&mut self) {
+        self.ops += 1;
+        self.accumulated_latency_ms += self.latency_per_op_ms;
+        let due: Vec<usize> = self
+            .schedule
+            .iter()
+            .filter(|p| p.at_op <= self.ops)
+            .map(|p| p.disk)
+            .collect();
+        self.schedule.retain(|p| p.at_op > self.ops);
+        for disk in due {
+            let _ = self.inner.fail(disk);
+        }
+    }
+}
+
+impl DiskBackend for FaultyBackend {
+    fn disks(&self) -> usize {
+        self.inner.disks()
+    }
+
+    fn element_size(&self) -> usize {
+        self.inner.element_size()
+    }
+
+    fn elements_per_disk(&self) -> usize {
+        self.inner.elements_per_disk()
+    }
+
+    fn read(&mut self, disk: usize, index: usize, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.tick();
+        self.inner.read(disk, index, buf)
+    }
+
+    fn write(&mut self, disk: usize, index: usize, data: &[u8]) -> Result<(), DiskError> {
+        self.tick();
+        self.inner.write(disk, index, data)
+    }
+
+    fn fail(&mut self, disk: usize) -> Result<(), DiskError> {
+        self.inner.fail(disk)
+    }
+
+    fn replace(&mut self, disk: usize) -> Result<(), DiskError> {
+        // A replaced disk is healthy again; drop any pending fault for it
+        // (the schedule described the old spindle).
+        self.schedule.retain(|p| p.disk != disk);
+        self.inner.replace(disk)
+    }
+
+    fn is_failed(&self, disk: usize) -> bool {
+        self.inner.is_failed(disk)
+    }
+
+    fn kind(&self) -> &'static str {
+        "faulty"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VolumeMeta
+// ---------------------------------------------------------------------------
+
+/// Volume-level metadata persisted next to a [`FileBackend`]'s disk files
+/// (`volume.meta`), so `hvraid fsck`/reopen can rebuild the same
+/// code + addressing without re-deriving them from the shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolumeMeta {
+    /// Code name as registered in the CLI registry (e.g. `"hv"`).
+    pub code: String,
+    /// The code's prime parameter.
+    pub p: usize,
+    /// Stripes in the volume.
+    pub stripes: usize,
+    /// Element size in bytes.
+    pub element_size: usize,
+    /// Whether stripe rotation is enabled.
+    pub rotate: bool,
+}
+
+impl VolumeMeta {
+    /// Writes `volume.meta` into `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let body = format!(
+            "code={}\np={}\nstripes={}\nelement_size={}\nrotate={}\n",
+            self.code, self.p, self.stripes, self.element_size, self.rotate
+        );
+        fs::write(dir.as_ref().join("volume.meta"), body)
+    }
+
+    /// Reads `volume.meta` from `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file is missing or malformed.
+    pub fn load(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let body = fs::read_to_string(dir.as_ref().join("volume.meta"))?;
+        let field = |key: &str| -> std::io::Result<String> {
+            body.lines()
+                .find_map(|l| l.strip_prefix(key)?.strip_prefix('='))
+                .map(|v| v.trim().to_string())
+                .ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("volume.meta missing {key}"),
+                    )
+                })
+        };
+        let num = |key: &str| -> std::io::Result<usize> {
+            field(key)?.parse().map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("volume.meta field {key} is not a number"),
+                )
+            })
+        };
+        Ok(VolumeMeta {
+            code: field("code")?,
+            p: num("p")?,
+            stripes: num("stripes")?,
+            element_size: num("element_size")?,
+            rotate: field("rotate")? == "true",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(backend: &mut dyn DiskBackend) {
+        let es = backend.element_size();
+        let payload: Vec<u8> = (0..es as u8).collect();
+        backend.write(1, 3, &payload).unwrap();
+        let mut buf = vec![0u8; es];
+        backend.read(1, 3, &mut buf).unwrap();
+        assert_eq!(buf, payload);
+        // Untouched elements stay zero.
+        backend.read(0, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn mem_backend_roundtrip_and_fault() {
+        let mut b = MemBackend::new(4, 8, 16);
+        roundtrip(&mut b);
+        b.fail(1).unwrap();
+        assert!(b.is_failed(1));
+        let mut buf = [0u8; 16];
+        assert_eq!(b.read(1, 3, &mut buf), Err(DiskError::DiskFailed { disk: 1 }));
+        b.replace(1).unwrap();
+        b.read(1, 3, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0), "spare must come up blank");
+    }
+
+    #[test]
+    fn mem_backend_rejects_bad_addresses() {
+        let mut b = MemBackend::new(2, 4, 8);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(5, 0, &mut buf), Err(DiskError::NoSuchDisk { disk: 5 }));
+        assert_eq!(b.read(0, 99, &mut buf), Err(DiskError::Io { disk: 0 }));
+    }
+
+    #[test]
+    fn file_backend_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("hvraid-fb-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut b = FileBackend::create(&dir, 3, 4, 8).unwrap();
+            roundtrip(&mut b);
+            b.fail(2).unwrap();
+        }
+        {
+            let mut b = FileBackend::open(&dir).unwrap();
+            assert_eq!(b.disks(), 3);
+            assert_eq!(b.elements_per_disk(), 4);
+            assert_eq!(b.element_size(), 8);
+            assert!(b.is_failed(2), "failure marker must survive reopen");
+            let mut buf = [0u8; 8];
+            b.read(1, 3, &mut buf).unwrap();
+            assert_eq!(buf.to_vec(), (0..8u8).collect::<Vec<_>>());
+            b.replace(2).unwrap();
+            assert!(!b.is_failed(2));
+        }
+        let b = FileBackend::open(&dir).unwrap();
+        assert!(!b.is_failed(2), "replacement must clear the marker");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_backend_fails_on_schedule() {
+        let inner = MemBackend::new(3, 4, 8);
+        let mut b = FaultyBackend::new(
+            Box::new(inner),
+            vec![FaultPoint { at_op: 2, disk: 1 }],
+        )
+        .with_latency(0.5);
+        let mut buf = [0u8; 8];
+        b.read(1, 0, &mut buf).unwrap(); // op 1: fine
+        assert!(!b.is_failed(1));
+        assert_eq!(b.read(1, 0, &mut buf), Err(DiskError::DiskFailed { disk: 1 }));
+        assert!(b.is_failed(1));
+        // Other disks keep serving.
+        b.read(0, 0, &mut buf).unwrap();
+        assert_eq!(b.ops(), 3);
+        assert!((b.accumulated_latency_ms() - 1.5).abs() < 1e-12);
+        // Replacement clears both the failure and any stale schedule.
+        b.replace(1).unwrap();
+        b.read(1, 0, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn volume_meta_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hvraid-vm-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let meta = VolumeMeta {
+            code: "hv".into(),
+            p: 7,
+            stripes: 4,
+            element_size: 16,
+            rotate: true,
+        };
+        meta.save(&dir).unwrap();
+        assert_eq!(VolumeMeta::load(&dir).unwrap(), meta);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

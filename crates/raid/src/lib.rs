@@ -1,29 +1,42 @@
 //! A RAID-6 controller over any [`raid_core::ArrayCode`].
 //!
 //! [`volume::RaidVolume`] is the piece a downstream user actually mounts:
-//! it stripes a data-element address space over an in-memory disk array,
+//! it stripes a data-element address space over a pluggable
+//! [`backend::DiskBackend`] (in-memory, file-per-disk, or fault-injecting),
 //! performs read-modify-write partial stripe writes with incremental parity
 //! updates, serves degraded reads while disks are failed, and rebuilds one
-//! or two failed disks — all while tallying per-disk I/O exactly the way
-//! the paper's evaluation counts it (element read/write requests).
+//! or two failed disks.
+//!
+//! Every operation lowers into the single [`pipeline::IoPipeline`]: element
+//! reads, a compiled [`raid_core::XorPlan`], element writes. The pipeline
+//! executes that form against the backend, hands the identical per-disk
+//! [`raid_core::io::RequestSet`] to the timing simulator when one is
+//! attached, and absorbs it into the [`raid_core::io::IoLedger`] — so data
+//! movement, simulated time, and the paper's request accounting always
+//! agree.
 //!
 //! [`addr`] maps the linear data-element address space onto stripes and
 //! optionally rotates stripes across disks ("stripe rotation", the
 //! traditional balancing technique the paper contrasts with parity
-//! spreading). [`batch`] encodes or rebuilds batches of independent
-//! stripes on scoped worker threads.
+//! spreading). [`batch`] runs encode/decode XOR kernels for batches of
+//! independent stripes on scoped worker threads; [`replay`] drives a
+//! volume + simulator pair from workload traces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod backend;
 pub mod batch;
 pub mod mttr;
+pub mod pipeline;
 pub mod reliability;
 pub mod replay;
 pub mod volume;
 
 pub use addr::Addressing;
+pub use backend::{DiskBackend, FaultPoint, FaultyBackend, FileBackend, MemBackend, VolumeMeta};
 pub use batch::{encode_batch, rebuild_batch};
+pub use pipeline::{DiskAddr, IoPipeline, LoweredOp};
 pub use replay::{replay_read_patterns, replay_write_trace, ReadReplay, WriteReplay};
 pub use volume::{RaidVolume, VolumeError};

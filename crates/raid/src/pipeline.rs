@@ -1,0 +1,292 @@
+//! The single I/O pipeline every volume operation lowers into.
+//!
+//! A [`LoweredOp`] is the normal form of one volume operation against one
+//! stripe: element **reads** (backend → scratch cells), a compiled
+//! [`XorPlan`] over the scratch, and element **writes** (scratch cells →
+//! backend, split data/parity). [`IoPipeline::execute`] runs that form
+//! against the [`DiskBackend`], hands the very same [`RequestSet`] to the
+//! attached [`DiskArray`] simulator (if any) for timing, and absorbs it
+//! into the [`IoLedger`] — so execution, timing, and accounting can never
+//! disagree about what was issued.
+
+use disk_sim::{DiskArray, DiskError};
+use raid_core::io::{IoLedger, RequestSet};
+use raid_core::{Cell, Stripe, XorPlan};
+
+use crate::backend::DiskBackend;
+
+/// A flat element address on the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskAddr {
+    /// Physical disk.
+    pub disk: usize,
+    /// Element index on that disk (`stripe · rows + row`).
+    pub index: usize,
+}
+
+/// One volume operation lowered to its pipeline normal form. Cells are
+/// scratch-stripe coordinates (ops over a taller-than-layout scratch, e.g.
+/// the RMW double-buffer, are fine — the plan is compiled for the scratch
+/// shape).
+#[derive(Debug, Clone, Default)]
+pub struct LoweredOp {
+    /// Elements fetched from the backend into scratch cells.
+    pub reads: Vec<(Cell, DiskAddr)>,
+    /// XOR program over the scratch after the reads land.
+    pub plan: Option<XorPlan>,
+    /// Data elements stored from scratch cells.
+    pub data_writes: Vec<(Cell, DiskAddr)>,
+    /// Parity elements stored from scratch cells.
+    pub parity_writes: Vec<(Cell, DiskAddr)>,
+}
+
+impl LoweredOp {
+    /// An op that only fetches the given cells.
+    pub fn read_only(reads: Vec<(Cell, DiskAddr)>) -> Self {
+        LoweredOp { reads, ..Default::default() }
+    }
+
+    /// True if the op issues no element requests at all.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.data_writes.is_empty() && self.parity_writes.is_empty()
+    }
+}
+
+/// Executes [`LoweredOp`]s against a backend, mirrors each request set to
+/// an optional timing simulator, and keeps the cumulative [`IoLedger`].
+pub struct IoPipeline {
+    backend: Box<dyn DiskBackend>,
+    ledger: IoLedger,
+    sim: Option<DiskArray>,
+    /// Simulated latency accumulated by the current operation (reset via
+    /// [`IoPipeline::begin_op`]).
+    op_latency_ms: f64,
+}
+
+impl std::fmt::Debug for IoPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoPipeline")
+            .field("backend", &self.backend.kind())
+            .field("disks", &self.backend.disks())
+            .field("sim", &self.sim.is_some())
+            .finish()
+    }
+}
+
+impl IoPipeline {
+    /// Wraps a backend; the ledger starts at zero, no simulator attached.
+    pub fn new(backend: Box<dyn DiskBackend>) -> Self {
+        let disks = backend.disks();
+        IoPipeline { backend, ledger: IoLedger::new(disks), sim: None, op_latency_ms: 0.0 }
+    }
+
+    /// The backend (volume-internal maintenance access: unaccounted
+    /// verification reads, corruption injection).
+    pub fn backend_mut(&mut self) -> &mut dyn DiskBackend {
+        self.backend.as_mut()
+    }
+
+    /// Immutable backend access.
+    pub fn backend(&self) -> &dyn DiskBackend {
+        self.backend.as_ref()
+    }
+
+    /// The cumulative ledger.
+    pub fn ledger(&self) -> &IoLedger {
+        &self.ledger
+    }
+
+    /// Zeroes the ledger (between experiments).
+    pub fn reset_ledger(&mut self) {
+        self.ledger = IoLedger::new(self.backend.disks());
+    }
+
+    /// Attaches a timing simulator; subsequent request sets are timed.
+    pub fn attach_sim(&mut self, sim: DiskArray) {
+        self.sim = Some(sim);
+    }
+
+    /// Detaches and returns the simulator.
+    pub fn detach_sim(&mut self) -> Option<DiskArray> {
+        self.sim.take()
+    }
+
+    /// The attached simulator, if any.
+    pub fn sim(&self) -> Option<&DiskArray> {
+        self.sim.as_ref()
+    }
+
+    /// Mutable simulator access (failure-state sync).
+    pub fn sim_mut(&mut self) -> Option<&mut DiskArray> {
+        self.sim.as_mut()
+    }
+
+    /// Marks the start of a volume-level operation: the per-op latency
+    /// accumulator is reset.
+    pub fn begin_op(&mut self) {
+        self.op_latency_ms = 0.0;
+    }
+
+    /// Simulated latency of the operation since [`IoPipeline::begin_op`]
+    /// (sum of its request-set makespans; 0 without a simulator).
+    pub fn op_latency_ms(&self) -> f64 {
+        self.op_latency_ms
+    }
+
+    /// Executes one lowered op: fetch reads into `scratch`, run the XOR
+    /// plan, store the writes, then commit the request set to the
+    /// simulator and ledger. Returns the committed set.
+    ///
+    /// The write phase is atomic with respect to surviving disks: if a
+    /// write fails mid-op, already-stored elements are restored from their
+    /// pre-images before the error is returned, so the caller can re-plan
+    /// (e.g. degraded) against a consistent array.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`DiskError`]; nothing is committed to the
+    /// simulator or ledger in that case.
+    pub fn execute(&mut self, op: &LoweredOp, scratch: &mut Stripe) -> Result<RequestSet, DiskError> {
+        let mut rs = RequestSet::new(self.backend.disks());
+
+        for &(cell, addr) in &op.reads {
+            self.backend.read(addr.disk, addr.index, scratch.element_mut(cell))?;
+            rs.add_read(addr.disk);
+        }
+
+        if let Some(plan) = &op.plan {
+            plan.execute(scratch);
+        }
+
+        // Write phase with an undo log: pre-images are captured through
+        // unaccounted internal reads so a mid-op disk failure can be rolled
+        // back instead of leaving the array half-updated.
+        let mut undo: Vec<(DiskAddr, Vec<u8>)> = Vec::new();
+        let es = self.backend.element_size();
+        let store = |backend: &mut dyn DiskBackend,
+                         cell: Cell,
+                         addr: DiskAddr,
+                         scratch: &Stripe,
+                         undo: &mut Vec<(DiskAddr, Vec<u8>)>|
+         -> Result<(), DiskError> {
+            let mut pre = vec![0u8; es];
+            backend.read(addr.disk, addr.index, &mut pre)?;
+            backend.write(addr.disk, addr.index, scratch.element(cell))?;
+            undo.push((addr, pre));
+            Ok(())
+        };
+        let mut failed: Option<DiskError> = None;
+        for &(cell, addr) in op.data_writes.iter().chain(&op.parity_writes) {
+            if let Err(e) = store(self.backend.as_mut(), cell, addr, scratch, &mut undo) {
+                failed = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = failed {
+            for (addr, pre) in undo.into_iter().rev() {
+                let _ = self.backend.write(addr.disk, addr.index, &pre);
+            }
+            return Err(e);
+        }
+        for &(_, addr) in &op.data_writes {
+            rs.add_data_write(addr.disk);
+        }
+        for &(_, addr) in &op.parity_writes {
+            rs.add_parity_write(addr.disk);
+        }
+
+        if let Some(sim) = &mut self.sim {
+            self.op_latency_ms += sim.run_requests(&rs)?;
+        }
+        self.ledger.absorb(&rs);
+        Ok(rs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{FaultPoint, FaultyBackend, MemBackend};
+    use disk_sim::DiskProfile;
+
+    fn addr(disk: usize, index: usize) -> DiskAddr {
+        DiskAddr { disk, index }
+    }
+
+    #[test]
+    fn execute_reads_plans_and_writes() {
+        // 1 row × 3 cols: c2 = c0 XOR c1.
+        let mut pipe = IoPipeline::new(Box::new(MemBackend::new(3, 1, 4)));
+        pipe.backend_mut().write(0, 0, &[1, 2, 3, 4]).unwrap();
+        pipe.backend_mut().write(1, 0, &[4, 4, 4, 4]).unwrap();
+
+        let c = Cell::new;
+        let plan = XorPlan::from_steps(1, 3, [(c(0, 2), [c(0, 0), c(0, 1)].as_slice())]);
+        let op = LoweredOp {
+            reads: vec![(c(0, 0), addr(0, 0)), (c(0, 1), addr(1, 0))],
+            plan: Some(plan),
+            data_writes: vec![],
+            parity_writes: vec![(c(0, 2), addr(2, 0))],
+        };
+        let mut scratch = Stripe::zeroed(1, 3, 4);
+        let rs = pipe.execute(&op, &mut scratch).unwrap();
+        assert_eq!(rs.total_reads(), 2);
+        assert_eq!(rs.parity_writes(), 1);
+        let mut out = [0u8; 4];
+        pipe.backend_mut().read(2, 0, &mut out).unwrap();
+        assert_eq!(out, [5, 6, 7, 0]);
+        assert_eq!(pipe.ledger().total(), 3);
+    }
+
+    #[test]
+    fn sim_times_exactly_what_the_ledger_absorbs() {
+        let mut pipe = IoPipeline::new(Box::new(MemBackend::new(2, 1, 4)));
+        pipe.attach_sim(DiskArray::new(2, DiskProfile::savvio_10k()));
+        let c = Cell::new;
+        let op = LoweredOp {
+            reads: vec![(c(0, 0), addr(0, 0))],
+            plan: None,
+            data_writes: vec![(c(0, 1), addr(1, 0))],
+            parity_writes: vec![],
+        };
+        let mut scratch = Stripe::zeroed(1, 2, 4);
+        pipe.begin_op();
+        pipe.execute(&op, &mut scratch).unwrap();
+        assert!(pipe.op_latency_ms() > 0.0);
+        assert_eq!(pipe.sim().unwrap().served(), pipe.ledger().per_disk_totals());
+    }
+
+    #[test]
+    fn failed_write_rolls_back_previous_writes() {
+        // Fault fires on the 4th backend op. The op below performs:
+        // read (1) + [pre-image read (2), write (3)] for disk 0 +
+        // [pre-image read (4) → FAULT on disk 1].
+        let inner = MemBackend::new(2, 1, 4);
+        let mut faulty = FaultyBackend::new(
+            Box::new(inner),
+            vec![FaultPoint { at_op: 4, disk: 1 }],
+        );
+        faulty.write(0, 0, &[9, 9, 9, 9]).unwrap(); // op 1 — pre-existing value
+        let mut pipe = IoPipeline::new(Box::new(faulty));
+
+        let c = Cell::new;
+        let mut scratch = Stripe::zeroed(1, 2, 4);
+        scratch.set_element(c(0, 0), &[1, 1, 1, 1]);
+        scratch.set_element(c(0, 1), &[2, 2, 2, 2]);
+        let op = LoweredOp {
+            reads: vec![(c(0, 1), addr(1, 0))], // op 2
+            plan: None,
+            data_writes: vec![(c(0, 0), addr(0, 0)), (c(0, 1), addr(1, 0))],
+            parity_writes: vec![],
+        };
+        scratch.set_element(c(0, 0), &[1, 1, 1, 1]);
+        let err = pipe.execute(&op, &mut scratch).unwrap_err();
+        assert_eq!(err, DiskError::DiskFailed { disk: 1 });
+        // Disk 0's write was rolled back to its pre-image.
+        let mut out = [0u8; 4];
+        pipe.backend_mut().read(0, 0, &mut out).unwrap();
+        assert_eq!(out, [9, 9, 9, 9]);
+        // Nothing reached the ledger.
+        assert_eq!(pipe.ledger().total(), 0);
+    }
+}

@@ -1,10 +1,16 @@
-//! Trace replay: drive a [`RaidVolume`] with a workload trace while a
-//! [`DiskArray`] simulator accounts the time — the engine behind the
-//! paper's Fig. 6/7 experiments, exposed as a library so applications can
-//! evaluate a code on their own traces.
+//! Trace replay: drive a [`RaidVolume`] with a workload trace while an
+//! attached [`DiskArray`] simulator accounts the time — the engine behind
+//! the paper's Fig. 6/7 experiments, exposed as a library so applications
+//! can evaluate a code on their own traces.
+//!
+//! The simulator is attached to the volume's I/O pipeline for the duration
+//! of the replay, so it is timed with *exactly* the per-disk
+//! [`raid_core::io::RequestSet`]s the volume executed — there is no second
+//! derivation of the request pattern here. It stays attached afterwards
+//! (detach with [`RaidVolume::detach_sim`] if needed).
 
 use disk_sim::{DiskArray, DiskError};
-use raid_core::io::IoTally;
+use raid_core::io::IoLedger;
 use raid_workloads::{ReadPattern, WriteTrace};
 
 use crate::volume::{RaidVolume, VolumeError};
@@ -16,19 +22,23 @@ pub struct WriteReplay {
     pub patterns: u64,
     /// Per-pattern simulated latencies, milliseconds.
     pub latencies_ms: Vec<f64>,
-    /// The volume's I/O tally delta for this replay.
-    pub tally: IoTally,
+    /// The volume's I/O ledger delta for this replay.
+    pub ledger: IoLedger,
+    /// Per-disk requests the simulator actually served during the replay
+    /// (equals `ledger.per_disk_totals()` by construction — the pipeline
+    /// hands both the same stream).
+    pub served: Vec<u64>,
 }
 
 impl WriteReplay {
     /// Total element-write requests — Fig. 6a's metric.
     pub fn total_write_requests(&self) -> u64 {
-        self.tally.total_writes()
+        self.ledger.total_writes()
     }
 
     /// Load balancing rate λ over writes — Fig. 6b's metric.
     pub fn lambda(&self) -> f64 {
-        self.tally.write_balance_rate()
+        self.ledger.write_balance_rate()
     }
 
     /// Mean simulated latency per pattern — Fig. 6c's metric.
@@ -83,9 +93,20 @@ impl From<DiskError> for ReplayError {
     }
 }
 
-/// Replays a write trace pattern by pattern: each pattern's element
-/// requests (reads + writes) form one simulator batch. Pattern starts are
-/// clipped to the volume's capacity.
+/// Attaches `sim` to the volume's pipeline, mapping shape complaints to
+/// [`ReplayError::ShapeMismatch`].
+fn attach(volume: &mut RaidVolume, sim: DiskArray) -> Result<(), ReplayError> {
+    let disks = sim.disks();
+    volume.attach_sim(sim).map_err(|_| ReplayError::ShapeMismatch {
+        volume: volume.disks(),
+        sim: disks,
+    })
+}
+
+/// Replays a write trace pattern by pattern. Each pattern is one volume
+/// write; its simulated latency is the makespan sum of the request batches
+/// the pipeline committed for it. Pattern starts are clipped to the
+/// volume's capacity.
 ///
 /// # Errors
 ///
@@ -93,15 +114,13 @@ impl From<DiskError> for ReplayError {
 /// operation (e.g. too many failed disks).
 pub fn replay_write_trace(
     volume: &mut RaidVolume,
-    sim: &mut DiskArray,
+    sim: DiskArray,
     trace: &WriteTrace,
 ) -> Result<WriteReplay, ReplayError> {
-    if volume.disks() != sim.disks() {
-        return Err(ReplayError::ShapeMismatch { volume: volume.disks(), sim: sim.disks() });
-    }
+    attach(volume, sim)?;
     let element = volume.element_size();
-    let baseline = volume.tally().clone();
-    let mut prev = baseline.clone();
+    let baseline = volume.ledger().clone();
+    let served_before = volume.sim().expect("just attached").served();
     let mut latencies = Vec::new();
     let mut buf = vec![0u8; 64 * element];
     let mut patterns = 0u64;
@@ -114,28 +133,20 @@ pub fn replay_write_trace(
         }
         buf[0] = buf[0].wrapping_add(1);
         volume.write(start, &buf[..len * element])?;
-
-        let tally = volume.tally();
-        let mut requests = Vec::new();
-        for disk in 0..volume.disks() {
-            let n = (tally.reads()[disk] - prev.reads()[disk])
-                + (tally.writes()[disk] - prev.writes()[disk]);
-            requests.extend(std::iter::repeat_n(disk, n as usize));
-        }
-        prev = tally.clone();
-        latencies.push(sim.run_batch(requests)?);
+        latencies.push(volume.last_op_latency_ms());
         patterns += 1;
     }
 
-    // Delta tally for this replay only.
-    let mut tally = volume.tally().clone();
-    let mut delta = IoTally::new(tally.disks());
-    for disk in 0..tally.disks() {
-        delta.add_reads(disk, tally.reads()[disk] - baseline.reads()[disk]);
-        delta.add_writes(disk, tally.writes()[disk] - baseline.writes()[disk]);
-    }
-    tally = delta;
-    Ok(WriteReplay { patterns, latencies_ms: latencies, tally })
+    let ledger = volume.ledger().delta_since(&baseline);
+    let served = volume
+        .sim()
+        .expect("sim stays attached")
+        .served()
+        .iter()
+        .zip(&served_before)
+        .map(|(now, before)| now - before)
+        .collect();
+    Ok(WriteReplay { patterns, latencies_ms: latencies, ledger, served })
 }
 
 /// Outcome of replaying degraded-read patterns.
@@ -145,6 +156,8 @@ pub struct ReadReplay {
     pub latencies_ms: Vec<f64>,
     /// Per-pattern I/O efficiencies `L′/L` — Fig. 7b's metric.
     pub efficiencies: Vec<f64>,
+    /// The volume's I/O ledger delta for this replay.
+    pub ledger: IoLedger,
 }
 
 impl ReadReplay {
@@ -167,37 +180,29 @@ impl ReadReplay {
     }
 }
 
-/// Replays read patterns against a (possibly degraded) volume; each
-/// pattern's reads form one simulator batch.
+/// Replays read patterns against a (possibly degraded) volume; the
+/// simulator's failure state is synced from the volume on attach.
 ///
 /// # Errors
 ///
 /// Returns [`ReplayError`] on shape mismatches or volume errors.
 pub fn replay_read_patterns(
     volume: &mut RaidVolume,
-    sim: &mut DiskArray,
+    sim: DiskArray,
     patterns: &[ReadPattern],
 ) -> Result<ReadReplay, ReplayError> {
-    if volume.disks() != sim.disks() {
-        return Err(ReplayError::ShapeMismatch { volume: volume.disks(), sim: sim.disks() });
-    }
-    let mut prev = volume.tally().clone();
+    attach(volume, sim)?;
+    let baseline = volume.ledger().clone();
     let mut latencies = Vec::with_capacity(patterns.len());
     let mut efficiencies = Vec::with_capacity(patterns.len());
     for pat in patterns {
         let start = pat.start.min(volume.data_elements().saturating_sub(pat.len));
         let (_, receipt) = volume.read(start, pat.len)?;
-        let tally = volume.tally();
-        let mut requests = Vec::new();
-        for disk in 0..volume.disks() {
-            let n = tally.reads()[disk] - prev.reads()[disk];
-            requests.extend(std::iter::repeat_n(disk, n as usize));
-        }
-        prev = tally.clone();
-        latencies.push(sim.run_batch(requests)?);
-        efficiencies.push(receipt.reads as f64 / pat.len as f64);
+        latencies.push(volume.last_op_latency_ms());
+        efficiencies.push(receipt.total_reads() as f64 / pat.len as f64);
     }
-    Ok(ReadReplay { latencies_ms: latencies, efficiencies })
+    let ledger = volume.ledger().delta_since(&baseline);
+    Ok(ReadReplay { latencies_ms: latencies, efficiencies, ledger })
 }
 
 #[cfg(test)]
@@ -209,16 +214,16 @@ mod tests {
     use std::sync::Arc;
 
     fn setup() -> (RaidVolume, DiskArray) {
-        let v = RaidVolume::new(Arc::new(HvCode::new(7).unwrap()), 5, 8);
+        let v = RaidVolume::in_memory(Arc::new(HvCode::new(7).unwrap()), 5, 8);
         let sim = DiskArray::new(v.disks(), DiskProfile::savvio_10k());
         (v, sim)
     }
 
     #[test]
     fn write_replay_accumulates() {
-        let (mut v, mut sim) = setup();
+        let (mut v, sim) = setup();
         let trace = uniform_write_trace(5, 40, v.data_elements() - 5, 3);
-        let out = replay_write_trace(&mut v, &mut sim, &trace).unwrap();
+        let out = replay_write_trace(&mut v, sim, &trace).unwrap();
         assert_eq!(out.patterns, 40);
         assert_eq!(out.latencies_ms.len(), 40);
         assert!(out.total_write_requests() >= 40 * 5);
@@ -227,37 +232,50 @@ mod tests {
     }
 
     #[test]
+    fn simulator_serves_exactly_the_ledger() {
+        let (mut v, sim) = setup();
+        let trace = uniform_write_trace(4, 25, v.data_elements() - 4, 7);
+        let out = replay_write_trace(&mut v, sim, &trace).unwrap();
+        assert_eq!(
+            out.served,
+            out.ledger.per_disk_totals(),
+            "the simulator must be handed the very stream the ledger absorbed"
+        );
+    }
+
+    #[test]
     fn read_replay_reports_efficiency() {
-        let (mut v, mut sim) = setup();
+        let (mut v, sim) = setup();
         v.fail_disk(2).unwrap();
-        sim.fail_disk(2).unwrap();
+        // attach_sim syncs the failure into the simulator.
         let pats = degraded_read_patterns(5, 30, v.data_elements() - 5, 9);
-        let out = replay_read_patterns(&mut v, &mut sim, &pats).unwrap();
+        let out = replay_read_patterns(&mut v, sim, &pats).unwrap();
         assert_eq!(out.efficiencies.len(), 30);
         assert!(out.mean_efficiency() >= 1.0);
         assert!(out.mean_latency_ms() > 0.0);
+        assert!(v.sim().unwrap().is_failed(2));
     }
 
     #[test]
     fn shape_mismatch_detected() {
         let (mut v, _) = setup();
-        let mut wrong = DiskArray::new(3, DiskProfile::savvio_10k());
+        let wrong = DiskArray::new(3, DiskProfile::savvio_10k());
         let trace = uniform_write_trace(2, 1, 10, 0);
         assert!(matches!(
-            replay_write_trace(&mut v, &mut wrong, &trace),
+            replay_write_trace(&mut v, wrong, &trace),
             Err(ReplayError::ShapeMismatch { .. })
         ));
     }
 
     #[test]
-    fn replay_tally_is_a_delta() {
-        let (mut v, mut sim) = setup();
-        // Pre-existing traffic must not leak into the replay's tally.
+    fn replay_ledger_is_a_delta() {
+        let (mut v, sim) = setup();
+        // Pre-existing traffic must not leak into the replay's ledger.
         v.write(0, &[1u8; 8 * 4]).unwrap();
-        let before = v.tally().total();
+        let before = v.ledger().total();
         assert!(before > 0);
         let trace = uniform_write_trace(2, 5, 20, 1);
-        let out = replay_write_trace(&mut v, &mut sim, &trace).unwrap();
-        assert!(out.tally.total() < v.tally().total());
+        let out = replay_write_trace(&mut v, sim, &trace).unwrap();
+        assert_eq!(out.ledger.total() + before, v.ledger().total());
     }
 }

@@ -15,7 +15,7 @@ use raid_array::RaidVolume;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let code = Arc::new(HvCode::new(11)?);
     let element = 4096usize;
-    let mut volume = RaidVolume::new(code, 64, element);
+    let mut volume = RaidVolume::in_memory(code, 64, element);
     println!(
         "volume: {} disks, {} data elements of {} B ({} MiB usable)",
         volume.disks(),
@@ -40,16 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(fingerprint(&degraded_copy), original_print);
     println!(
         "degraded full read OK ({} element reads for {} elements)",
-        receipt.reads,
+        receipt.total_reads(),
         volume.data_elements()
     );
 
     // Rebuild onto fresh spares.
-    volume.reset_tally();
+    volume.reset_ledger();
     let receipt = volume.rebuild()?;
     println!(
         "rebuild complete: {} element reads, {} element writes",
-        receipt.reads,
+        receipt.total_reads(),
         receipt.total_writes()
     );
     assert!(volume.verify_all(), "all parity chains consistent after rebuild");

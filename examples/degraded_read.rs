@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut count = 0u64;
 
         for failed in 0..code.layout().cols() {
-            let mut volume = RaidVolume::new(Arc::clone(&code), stripes, element);
+            let mut volume = RaidVolume::in_memory(Arc::clone(&code), stripes, element);
             let data = payload(volume.data_elements() * element, 1);
             volume.write(0, &data)?;
             volume.fail_disk(failed)?;
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     data[pat.start * element..(pat.start + pat.len) * element],
                     "{name}: corrupted degraded read"
                 );
-                let eff = receipt.reads as f64 / pat.len as f64;
+                let eff = receipt.total_reads() as f64 / pat.len as f64;
                 total_eff += eff;
                 worst = worst.max(eff);
                 count += 1;

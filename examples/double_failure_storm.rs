@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let name = code.name().to_string();
         let disks = code.layout().cols();
         let element = 256usize;
-        let mut volume = RaidVolume::new(Arc::clone(&code), 8, element);
+        let mut volume = RaidVolume::in_memory(Arc::clone(&code), 8, element);
         let data = payload(volume.data_elements() * element, 0xBAD);
         let print = fingerprint(&data);
         volume.write(0, &data)?;

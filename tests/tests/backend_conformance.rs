@@ -1,0 +1,169 @@
+//! Backend conformance: every [`raid_array::DiskBackend`] implementation
+//! must be observationally identical under the volume's operation stream.
+//! The suite runs the same lifecycle against the in-memory, file-per-disk,
+//! and fault-injecting backends, and additionally proves that a
+//! [`raid_array::FaultyBackend`] firing two mid-run failures still serves
+//! every byte for every code at p ∈ {5, 7, 13}.
+
+use std::sync::Arc;
+
+use integration::{all_codes, payload};
+use raid_array::{DiskBackend, FaultPoint, FaultyBackend, FileBackend, MemBackend, RaidVolume};
+use raid_core::ArrayCode;
+
+const ELEMENT: usize = 16;
+const STRIPES: usize = 2;
+
+/// The three backend kinds under test. The faulty case here carries an
+/// empty schedule — behavioural equivalence with its inner backend is part
+/// of the conformance contract; injected faults get their own test below.
+const BACKENDS: [&str; 3] = ["mem", "file", "faulty"];
+
+fn make_backend(kind: &str, label: &str, disks: usize, epd: usize) -> Box<dyn DiskBackend> {
+    match kind {
+        "mem" => Box::new(MemBackend::new(disks, epd, ELEMENT)),
+        "file" => {
+            let dir = std::env::temp_dir().join(format!("hvraid_conformance_{label}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            Box::new(FileBackend::create(dir, disks, epd, ELEMENT).expect("temp dir writable"))
+        }
+        "faulty" => Box::new(FaultyBackend::new(
+            Box::new(MemBackend::new(disks, epd, ELEMENT)),
+            Vec::new(),
+        )),
+        other => panic!("unknown backend kind {other}"),
+    }
+}
+
+fn cleanup(kind: &str, label: &str) {
+    if kind == "file" {
+        let dir = std::env::temp_dir().join(format!("hvraid_conformance_{label}"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+fn volume_on(code: &Arc<dyn ArrayCode>, kind: &str, label: &str) -> RaidVolume {
+    let layout = code.layout();
+    let backend = make_backend(kind, label, layout.cols(), STRIPES * layout.rows());
+    RaidVolume::new(Arc::clone(code), STRIPES, ELEMENT, backend).expect("shape matches")
+}
+
+#[test]
+fn write_read_roundtrip_on_every_backend() {
+    for code in all_codes(7) {
+        let name = code.name().to_string();
+        for kind in BACKENDS {
+            let label = format!("rt_{kind}_{}", name.replace(' ', "_"));
+            let mut v = volume_on(&code, kind, &label);
+            let data = payload(v.data_elements() * ELEMENT, 3);
+            v.write(0, &data).unwrap();
+            assert!(v.verify_all(), "{name}/{kind}");
+            let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+            assert_eq!(bytes, data, "{name}/{kind}: roundtrip");
+            // Partial overwrite stays consistent too.
+            let patch = payload(3 * ELEMENT, 17);
+            v.write(2, &patch).unwrap();
+            let (bytes, _) = v.read(2, 3).unwrap();
+            assert_eq!(bytes, patch, "{name}/{kind}: partial overwrite");
+            assert!(v.verify_all(), "{name}/{kind}: parity after overwrite");
+            cleanup(kind, &label);
+        }
+    }
+}
+
+#[test]
+fn degraded_read_equals_pre_failure_data_on_every_backend() {
+    for code in all_codes(7) {
+        let name = code.name().to_string();
+        for kind in BACKENDS {
+            let label = format!("dr_{kind}_{}", name.replace(' ', "_"));
+            let mut v = volume_on(&code, kind, &label);
+            let data = payload(v.data_elements() * ELEMENT, 5);
+            v.write(0, &data).unwrap();
+            v.fail_disk(1).unwrap();
+            v.fail_disk(v.disks() - 1).unwrap();
+            let (bytes, io) = v.read(0, v.data_elements()).unwrap();
+            assert_eq!(bytes, data, "{name}/{kind}: double-degraded read");
+            assert!(io.total_reads() > 0, "{name}/{kind}");
+            cleanup(kind, &label);
+        }
+    }
+}
+
+#[test]
+fn rebuild_restores_verification_on_every_backend() {
+    for code in all_codes(7) {
+        let name = code.name().to_string();
+        for kind in BACKENDS {
+            let label = format!("rb_{kind}_{}", name.replace(' ', "_"));
+            let mut v = volume_on(&code, kind, &label);
+            let data = payload(v.data_elements() * ELEMENT, 7);
+            v.write(0, &data).unwrap();
+            v.fail_disk(0).unwrap();
+            v.fail_disk(v.disks() / 2).unwrap();
+            assert!(!v.verify_all(), "{name}/{kind}: degraded must not verify");
+            v.rebuild().unwrap();
+            assert!(v.verify_all(), "{name}/{kind}: rebuild must restore parity");
+            let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+            assert_eq!(bytes, data, "{name}/{kind}: post-rebuild read");
+            cleanup(kind, &label);
+        }
+    }
+}
+
+#[test]
+fn two_injected_faults_still_serve_reads_for_every_code_and_prime() {
+    for p in [5usize, 7, 13] {
+        for code in all_codes(p) {
+            let name = code.name().to_string();
+            let layout = code.layout();
+            let disks = layout.cols();
+            // Two faults firing mid-stream on distinct disks: one early
+            // (during the initial write), one later (during reads).
+            let schedule = vec![
+                FaultPoint { at_op: 7, disk: 1 },
+                FaultPoint { at_op: 60, disk: disks - 2 },
+            ];
+            let backend = FaultyBackend::new(
+                Box::new(MemBackend::new(disks, STRIPES * layout.rows(), ELEMENT)),
+                schedule,
+            );
+            let mut v = RaidVolume::new(Arc::clone(&code), STRIPES, ELEMENT, Box::new(backend))
+                .expect("shape matches");
+            let data = payload(v.data_elements() * ELEMENT, p as u64);
+            v.write(0, &data).unwrap();
+            let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+            assert_eq!(bytes, data, "{name} p={p}: reads must survive 2 injected faults");
+            assert!(
+                v.failed_disks().len() <= 2,
+                "{name} p={p}: at most the two scheduled faults may fire"
+            );
+            // The volume can still be brought back to health.
+            v.rebuild().unwrap();
+            assert!(v.verify_all(), "{name} p={p}: rebuild after injected faults");
+        }
+    }
+}
+
+#[test]
+fn file_backend_persists_across_reopen() {
+    let code = all_codes(7).remove(0); // HV
+    let label = "persist";
+    let mut v = volume_on(&code, "file", label);
+    let data = payload(v.data_elements() * ELEMENT, 23);
+    v.write(0, &data).unwrap();
+    v.fail_disk(2).unwrap();
+    drop(v);
+
+    // Reopen: geometry, contents, and the failure marker all survive.
+    let dir = std::env::temp_dir().join(format!("hvraid_conformance_{label}"));
+    let backend = FileBackend::open(&dir).unwrap();
+    let mut v = RaidVolume::open(Arc::clone(&code), Box::new(backend), false).unwrap();
+    assert_eq!(v.stripes(), STRIPES);
+    assert_eq!(v.failed_disks(), vec![2], "failure flag must persist");
+    let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+    assert_eq!(bytes, data, "data must persist across reopen");
+    v.rebuild().unwrap();
+    assert!(v.verify_all());
+    cleanup("file", label);
+}

@@ -12,7 +12,7 @@ fn full_lifecycle_every_code_every_single_disk() {
         let name = code.name().to_string();
         let element = 64usize;
         for failed in 0..code.layout().cols() {
-            let mut v = RaidVolume::new(Arc::clone(&code), 3, element);
+            let mut v = RaidVolume::in_memory(Arc::clone(&code), 3, element);
             let data = payload(v.data_elements() * element, failed as u64);
             v.write(0, &data).unwrap();
             assert!(v.verify_all(), "{name}");
@@ -20,7 +20,7 @@ fn full_lifecycle_every_code_every_single_disk() {
             v.fail_disk(failed).unwrap();
             let (bytes, receipt) = v.read(0, v.data_elements()).unwrap();
             assert_eq!(bytes, data, "{name}: degraded read, disk {failed}");
-            assert!(receipt.reads > 0);
+            assert!(receipt.total_reads() > 0);
 
             v.rebuild().unwrap();
             assert!(v.verify_all(), "{name}: post-rebuild parity, disk {failed}");
@@ -38,7 +38,7 @@ fn full_lifecycle_every_code_every_disk_pair() {
         let disks = code.layout().cols();
         for f1 in 0..disks {
             for f2 in (f1 + 1)..disks {
-                let mut v = RaidVolume::new(Arc::clone(&code), 2, element);
+                let mut v = RaidVolume::in_memory(Arc::clone(&code), 2, element);
                 let data = payload(v.data_elements() * element, (f1 * 31 + f2) as u64);
                 v.write(0, &data).unwrap();
                 v.fail_disk(f1).unwrap();
@@ -63,7 +63,7 @@ fn interleaved_writes_and_failures() {
     for code in all_codes(7) {
         let name = code.name().to_string();
         let element = 16usize;
-        let mut v = RaidVolume::new(Arc::clone(&code), 4, element);
+        let mut v = RaidVolume::in_memory(Arc::clone(&code), 4, element);
         let mut shadow = vec![0u8; v.data_elements() * element];
 
         let rounds: &[(usize, usize, usize)] = &[(0, 1, 5), (2, 3, 11), (1, 4, 3)];
@@ -90,7 +90,7 @@ fn degraded_writes_across_all_codes() {
         let name = code.name().to_string();
         let element = 16usize;
         for failures in [vec![0usize], vec![1, 3]] {
-            let mut v = RaidVolume::new(Arc::clone(&code), 3, element);
+            let mut v = RaidVolume::in_memory(Arc::clone(&code), 3, element);
             let mut shadow = payload(v.data_elements() * element, 1);
             v.write(0, &shadow.clone()).unwrap();
             for &d in &failures {

@@ -81,7 +81,7 @@ proptest! {
     ) {
         let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(7).unwrap());
         let element = 8usize;
-        let mut v = RaidVolume::new(code, 10, element);
+        let mut v = RaidVolume::in_memory(code, 10, element);
         let cap = v.data_elements();
         let mut shadow = vec![0u8; cap * element];
         for (i, (start, len)) in writes.into_iter().enumerate() {
@@ -105,7 +105,7 @@ proptest! {
     ) {
         let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(7).unwrap());
         let element = 8usize;
-        let mut v = RaidVolume::new(code, 6, element);
+        let mut v = RaidVolume::in_memory(code, 6, element);
         let cap = v.data_elements();
         let start = start % cap;
         let len = len.min(cap - start);
@@ -115,7 +115,7 @@ proptest! {
         v.fail_disk(disk % v.disks()).unwrap();
         let (degraded, receipt) = v.read(start, len).unwrap();
         prop_assert_eq!(&healthy, &degraded);
-        prop_assert!(receipt.reads as usize >= 1);
+        prop_assert!(receipt.total_reads() as usize >= 1);
         prop_assert_eq!(
             &healthy[..],
             &data[start * element..(start + len) * element]

@@ -42,7 +42,7 @@ proptest! {
         let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(7).unwrap());
         let element = 8usize;
         let stripes = 6usize;
-        let mut v = RaidVolume::new(Arc::clone(&code), stripes, element);
+        let mut v = RaidVolume::in_memory(Arc::clone(&code), stripes, element);
         let cap = v.data_elements();
         let mut shadow = vec![0u8; cap * element];
         let mut corrupted = false;
