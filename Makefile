@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench bench-smoke lint verify clean
+.PHONY: build test bench bench-smoke lint miri test-kernel-audit verify clean
 
 build:
 	$(CARGO) build --release
@@ -19,16 +19,39 @@ bench:
 bench-smoke:
 	RAID_BENCH_SMOKE=1 $(CARGO) bench -p raid-bench
 
+# Static analysis gate: warnings-as-errors clippy across every target,
+# the (gated) miri pass over the unsafe kernels, then the symbolic
+# verifier proving every registered code at every default prime.
 lint:
-	$(CARGO) clippy --workspace --all-targets
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+	$(MAKE) miri
+	$(CARGO) run -q -p hvraid -- lint --all
 
-# The pre-merge gate: release build, full test suite, warnings-as-errors
-# lint, then a bench smoke run that refreshes BENCH_degraded.json (and the
-# other BENCH_*.json files) with current degraded-read throughput numbers.
+# Miri over the unsafe XOR kernels, time-boxed. Skipped with a notice when
+# the toolchain has no miri component (e.g. offline containers) — the
+# kernel_audit scalar-shadow mode and debug-assert bounds checks still
+# cover the kernels without it.
+miri:
+	@if $(CARGO) +nightly miri --version >/dev/null 2>&1; then \
+		MIRIFLAGS=-Zmiri-disable-isolation timeout 600 \
+			$(CARGO) +nightly miri test -p raid-math xor || exit 1; \
+	else \
+		echo "miri: nightly component unavailable, skipping (see 'make test-kernel-audit')"; \
+	fi
+
+# Re-runs the kernel test suite with every dispatched SIMD call shadowed
+# by the scalar reference implementation and byte-compared.
+test-kernel-audit:
+	RUSTFLAGS="--cfg kernel_audit" $(CARGO) test -q -p raid-math
+
+# The pre-merge gate: release build, full test suite, the static-analysis
+# lint gate (clippy + miri + symbolic proofs), then a bench smoke run that
+# refreshes BENCH_degraded.json (and the other BENCH_*.json files) with
+# current degraded-read throughput numbers.
 verify:
 	$(CARGO) build --release
 	$(CARGO) test -q
-	$(CARGO) clippy -- -D warnings
+	$(MAKE) lint
 	RAID_BENCH_SMOKE=1 $(CARGO) bench -p raid-bench
 
 clean:

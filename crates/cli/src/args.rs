@@ -15,18 +15,22 @@ pub struct Parsed {
 
 /// Parses an argument vector (without the program name).
 ///
+/// A `--flag` followed by another flag (or by nothing) is a boolean
+/// switch and parses as `true`, so `lint --all` and `lint --all true`
+/// are equivalent.
+///
 /// # Errors
 ///
-/// Returns a message if a `--flag` is missing its value or no subcommand
-/// was given.
+/// Returns a message if no subcommand was given.
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, String> {
     let mut out = Parsed::default();
     let mut it = args.into_iter().peekable();
     while let Some(arg) = it.next() {
         if let Some(key) = arg.strip_prefix("--") {
-            let value = it
-                .next()
-                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                _ => "true".to_string(),
+            };
             out.flags.insert(key.to_string(), value);
         } else if out.command.is_empty() {
             out.command = arg;
@@ -93,8 +97,16 @@ mod tests {
     #[test]
     fn error_cases() {
         assert!(parse(sv(&[])).is_err());
-        assert!(parse(sv(&["x", "--p"])).unwrap_err().contains("needs a value"));
         let p = parse(sv(&["x", "--p", "nope"])).unwrap();
         assert!(p.get_or("p", 1usize).is_err());
+    }
+
+    #[test]
+    fn valueless_flags_are_boolean_switches() {
+        let p = parse(sv(&["lint", "--all", "--code", "hv"])).unwrap();
+        assert!(p.get_or("all", false).unwrap());
+        assert_eq!(p.flags.get("code").unwrap(), "hv");
+        let trailing = parse(sv(&["lint", "--json"])).unwrap();
+        assert!(trailing.get_or("json", false).unwrap());
     }
 }

@@ -45,6 +45,11 @@ commands:
                                            against an in-memory twin
   fsck      --dir <dir> [--repair true]    reopen a file-backed volume, verify
                                            parity, optionally rebuild + scrub
+  lint      [--code <name>] [--p <prime>] [--all] [--json]
+                                           statically verify compiled plans: symbolic
+                                           GF(2) encode proof, exhaustive single/double
+                                           erasure MDS proof, paper-table cross-check
+                                           (default: every code at p = 5 7 11 13 17)
 
 codes: hv rdp evenodd xcode hcode hdp pcode liberation";
 
@@ -64,6 +69,7 @@ pub fn run(parsed: &Parsed) -> Result<String, String> {
         "batch" => batch(parsed),
         "volume" => volume_lifecycle(parsed),
         "fsck" => fsck(parsed),
+        "lint" => lint(parsed),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -442,6 +448,60 @@ fn fsck(parsed: &Parsed) -> Result<String, String> {
     Ok(out)
 }
 
+fn lint(parsed: &Parsed) -> Result<String, String> {
+    let json = parsed.get_or("json", false)?;
+    // `--all` is the default; the flag exists so scripts can say what they
+    // mean. Naming a code restricts the sweep to it.
+    let codes: Vec<String> = match parsed.flags.get("code") {
+        Some(name) => vec![name.clone()],
+        None => raid_verify::CODE_NAMES.iter().map(|s| s.to_string()).collect(),
+    };
+    let primes: Vec<usize> = if parsed.flags.contains_key("p") {
+        vec![parsed.get_or("p", 7usize)?]
+    } else {
+        raid_verify::DEFAULT_PRIMES.to_vec()
+    };
+
+    let mut lines = Vec::new();
+    let mut patterns = 0usize;
+    for name in &codes {
+        for &p in &primes {
+            let report = raid_verify::check_code(name, p)
+                .map_err(|e| format!("lint: {name} at p={p} FAILED\n  {e}"))?;
+            patterns += report.mds_singles + report.mds_pairs;
+            if json {
+                lines.push(report.to_json());
+            } else {
+                let paper = if raid_verify::report::paper_expectation(name, p).is_some() {
+                    "  paper table ✔"
+                } else {
+                    ""
+                };
+                lines.push(format!(
+                    "{:<10} p={:<2} encode proven ({} ops, {} XORs)  MDS proven \
+                     ({} single + {} double erasures)  UC {:.2}{}",
+                    name,
+                    p,
+                    report.encode_ops,
+                    report.encode_source_reads,
+                    report.mds_singles,
+                    report.mds_pairs,
+                    report.metrics.update_complexity,
+                    paper,
+                ));
+            }
+        }
+    }
+    if !json {
+        lines.push(format!(
+            "lint: {} code/prime combinations verified, {} erasure patterns proven ✔",
+            codes.len() * primes.len(),
+            patterns
+        ));
+    }
+    Ok(lines.join("\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -597,6 +657,31 @@ mod tests {
         let out = run_line(&["check", "--spec", bad_path.to_str().unwrap()]).unwrap();
         assert!(out.contains("NOT MDS"), "{out}");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn lint_proves_one_code_and_prints_the_proof_shape() {
+        let out = run_line(&["lint", "--code", "hv", "--p", "5"]).unwrap();
+        assert!(out.contains("encode proven"), "{out}");
+        assert!(out.contains("MDS proven"), "{out}");
+        assert!(out.contains("paper table ✔"), "{out}");
+        // p=5 HV: 4 disks → 4 singles + 6 pairs.
+        assert!(out.contains("4 single + 6 double erasures"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_is_machine_readable() {
+        let out = run_line(&["lint", "--code", "xcode", "--p", "5", "--json"]).unwrap();
+        assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
+        assert!(out.contains("\"code\":\"xcode\""), "{out}");
+        assert!(out.contains("\"paper_match\":true"), "{out}");
+    }
+
+    #[test]
+    fn lint_rejects_unknown_code_with_context() {
+        let err = run_line(&["lint", "--code", "nope", "--p", "5"]).unwrap_err();
+        assert!(err.contains("FAILED"), "{err}");
+        assert!(err.contains("unknown code"), "{err}");
     }
 
     #[test]

@@ -1,39 +1,10 @@
 //! Name → code constructor registry.
+//!
+//! The canonical registry lives in `raid-verify` (so `check_all()` is
+//! self-contained for `make verify` and the test suite); the CLI simply
+//! re-exports it.
 
-use std::sync::Arc;
-
-use hv_code::HvCode;
-use raid_baselines::{EvenOddCode, HCode, HdpCode, LiberationCode, PCode, RdpCode, XCode};
-use raid_core::ArrayCode;
-
-/// Codes the CLI knows, keyed by their CLI names.
-pub const CODE_NAMES: [&str; 8] =
-    ["hv", "rdp", "evenodd", "xcode", "hcode", "hdp", "pcode", "liberation"];
-
-/// Builds a code by CLI name.
-///
-/// # Errors
-///
-/// Returns a human-readable message for unknown names or invalid primes.
-pub fn build(name: &str, p: usize) -> Result<Arc<dyn ArrayCode>, String> {
-    let err = |e: &dyn std::fmt::Display| format!("cannot build {name} at p={p}: {e}");
-    match name {
-        "hv" => HvCode::new(p).map(|c| Arc::new(c) as Arc<dyn ArrayCode>).map_err(|e| err(&e)),
-        "rdp" => RdpCode::new(p).map(|c| Arc::new(c) as _).map_err(|e| err(&e)),
-        "evenodd" => EvenOddCode::new(p).map(|c| Arc::new(c) as _).map_err(|e| err(&e)),
-        "xcode" => XCode::new(p).map(|c| Arc::new(c) as _).map_err(|e| err(&e)),
-        "hcode" => HCode::new(p).map(|c| Arc::new(c) as _).map_err(|e| err(&e)),
-        "hdp" => HdpCode::new(p).map(|c| Arc::new(c) as _).map_err(|e| err(&e)),
-        "pcode" => PCode::new(p).map(|c| Arc::new(c) as _).map_err(|e| err(&e)),
-        "liberation" => {
-            LiberationCode::new(p).map(|c| Arc::new(c) as _).map_err(|e| err(&e))
-        }
-        other => Err(format!(
-            "unknown code '{other}' (expected one of {})",
-            CODE_NAMES.join(", ")
-        )),
-    }
-}
+pub use raid_verify::{build, CODE_NAMES};
 
 #[cfg(test)]
 mod tests {

@@ -74,6 +74,20 @@ impl BitSet {
         }
     }
 
+    /// `self ^= other` — symmetric difference, word-wise. This is GF(2)
+    /// addition of characteristic vectors; the symbolic verifier leans on
+    /// it being O(capacity/64) rather than per-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn xor_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= *b;
+        }
+    }
+
     /// Size of `self ∪ other` without materializing it.
     pub fn union_len(&self, other: &BitSet) -> usize {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
@@ -162,6 +176,25 @@ mod tests {
         a.union_with(&b);
         assert_eq!(a.len(), 4);
         assert!(a.contains(7));
+    }
+
+    #[test]
+    fn xor_is_symmetric_difference() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        for v in [1, 5, 99] {
+            a.insert(v);
+        }
+        for v in [5, 7] {
+            b.insert(v);
+        }
+        a.xor_with(&b);
+        let got: Vec<usize> = a.iter().collect();
+        assert_eq!(got, vec![1, 7, 99]);
+        // XOR-ing the same set again cancels it.
+        a.xor_with(&b);
+        let got: Vec<usize> = a.iter().collect();
+        assert_eq!(got, vec![1, 5, 99]);
     }
 
     #[test]

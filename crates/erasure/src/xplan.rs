@@ -130,6 +130,19 @@ impl XorPlan {
         self.ops.iter().map(|op| Cell::from_index(op.dst as usize, self.cols))
     }
 
+    /// The compiled ops as `(target, sources)` cell lists, in execution
+    /// order — the view the static verifier (`raid-verify`) interprets
+    /// symbolically over GF(2). Cold path: allocates one `Vec` per op.
+    pub fn steps(&self) -> impl Iterator<Item = (Cell, Vec<Cell>)> + '_ {
+        self.ops.iter().map(|op| {
+            let srcs = self.srcs[op.src_start as usize..op.src_end as usize]
+                .iter()
+                .map(|&s| Cell::from_index(s as usize, self.cols))
+                .collect();
+            (Cell::from_index(op.dst as usize, self.cols), srcs)
+        })
+    }
+
     /// Runs the plan against a stripe: each op overwrites its target
     /// element with the XOR of its source elements, in plan order.
     ///

@@ -17,6 +17,26 @@
 //!
 //! The `_scalar` variants are public so property tests can assert the
 //! vector backends are byte-identical to the portable implementation.
+//!
+//! # Safety layering
+//!
+//! All `unsafe` lives in the backend modules; everything above them is
+//! safe Rust. The contract has exactly two obligations and both are
+//! discharged before any `unsafe fn` is entered:
+//!
+//! 1. **equal lengths** — every public kernel funnels through
+//!    [`precondition::equal_len`], a plain checked-slice comparison (it
+//!    runs under miri like any safe code). The vector kernels' pointer
+//!    arithmetic never leaves `[0, dst.len())`, so this check is the
+//!    entire bounds story; each `unsafe fn` re-states it as a debug
+//!    assertion.
+//! 2. **ISA support** — AVX2 is runtime-probed at each dispatch; NEON is
+//!    baseline on `aarch64`.
+//!
+//! Building with `RUSTFLAGS="--cfg kernel_audit"` additionally runs every
+//! dispatched call twice — once through the selected backend, once through
+//! the scalar reference on a copy — and asserts the outputs are
+//! byte-identical (`make test-kernel-audit`).
 
 // SIMD intrinsics are the one place this crate needs `unsafe`; the crate
 // root denies it, and this module opts back in for the kernels below.
@@ -77,18 +97,28 @@ pub fn active_backend() -> Backend {
 /// assert_eq!(d, vec![0b1100u8; 4]);
 /// ```
 pub fn xor_into(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "xor_into: length mismatch");
+    precondition::equal_len("xor_into", dst.len(), std::slice::from_ref(&src));
+    #[cfg(kernel_audit)]
+    let shadow = audit::shadow(dst, |copy| scalar::xor_into(copy, src));
+    dispatch_xor_into(dst, src);
+    #[cfg(kernel_audit)]
+    audit::check("xor_into", dst, &shadow);
+}
+
+fn dispatch_xor_into(dst: &mut [u8], src: &[u8]) {
     #[cfg(target_arch = "x86_64")]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: AVX2 support was just verified at runtime.
+            // SAFETY: AVX2 support was just verified at runtime; equal
+            // lengths were checked by the public wrapper.
             unsafe { avx2::xor_into(dst, src) };
             return;
         }
     }
     #[cfg(target_arch = "aarch64")]
     {
-        // SAFETY: NEON is a baseline feature of the aarch64 targets.
+        // SAFETY: NEON is a baseline feature of the aarch64 targets; equal
+        // lengths were checked by the public wrapper.
         unsafe { neon::xor_into(dst, src) };
         return;
     }
@@ -106,23 +136,31 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
 ///
 /// Panics if any source length differs from `dst`.
 pub fn xor_many_into(dst: &mut [u8], srcs: &[&[u8]]) {
-    for src in srcs {
-        assert_eq!(dst.len(), src.len(), "xor_many_into: length mismatch");
-    }
+    precondition::equal_len("xor_many_into", dst.len(), srcs);
     if srcs.is_empty() {
         return;
     }
+    #[cfg(kernel_audit)]
+    let shadow = audit::shadow(dst, |copy| scalar::xor_many_into(copy, srcs));
+    dispatch_xor_many_into(dst, srcs);
+    #[cfg(kernel_audit)]
+    audit::check("xor_many_into", dst, &shadow);
+}
+
+fn dispatch_xor_many_into(dst: &mut [u8], srcs: &[&[u8]]) {
     #[cfg(target_arch = "x86_64")]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: AVX2 support was just verified at runtime.
+            // SAFETY: AVX2 support was just verified at runtime; equal
+            // lengths were checked by the public wrapper.
             unsafe { avx2::xor_many_into(dst, srcs) };
             return;
         }
     }
     #[cfg(target_arch = "aarch64")]
     {
-        // SAFETY: NEON is a baseline feature of the aarch64 targets.
+        // SAFETY: NEON is a baseline feature of the aarch64 targets; equal
+        // lengths were checked by the public wrapper.
         unsafe { neon::xor_many_into(dst, srcs) };
         return;
     }
@@ -142,24 +180,34 @@ pub fn xor_many_into(dst: &mut [u8], srcs: &[&[u8]]) {
 ///
 /// Panics if any source length differs from `dst`.
 pub fn xor_gather_into(dst: &mut [u8], srcs: &[&[u8]]) {
-    for src in srcs {
-        assert_eq!(dst.len(), src.len(), "xor_gather_into: length mismatch");
-    }
+    precondition::equal_len("xor_gather_into", dst.len(), srcs);
     if srcs.is_empty() {
         dst.fill(0);
         return;
     }
+    #[cfg(kernel_audit)]
+    let shadow = audit::shadow(dst, |copy| scalar::xor_gather_into(copy, srcs));
+    dispatch_xor_gather_into(dst, srcs);
+    #[cfg(kernel_audit)]
+    audit::check("xor_gather_into", dst, &shadow);
+}
+
+fn dispatch_xor_gather_into(dst: &mut [u8], srcs: &[&[u8]]) {
     #[cfg(target_arch = "x86_64")]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: AVX2 support was just verified at runtime.
+            // SAFETY: AVX2 support was just verified at runtime; equal
+            // lengths and a non-empty `srcs` were checked by the public
+            // wrapper.
             unsafe { avx2::xor_gather_into(dst, srcs) };
             return;
         }
     }
     #[cfg(target_arch = "aarch64")]
     {
-        // SAFETY: NEON is a baseline feature of the aarch64 targets.
+        // SAFETY: NEON is a baseline feature of the aarch64 targets; equal
+        // lengths and a non-empty `srcs` were checked by the public
+        // wrapper.
         unsafe { neon::xor_gather_into(dst, srcs) };
         return;
     }
@@ -174,9 +222,7 @@ pub fn xor_gather_into(dst: &mut [u8], srcs: &[&[u8]]) {
 ///
 /// Panics if any source length differs from `dst`.
 pub fn xor_gather_into_scalar(dst: &mut [u8], srcs: &[&[u8]]) {
-    for src in srcs {
-        assert_eq!(dst.len(), src.len(), "xor_gather_into: length mismatch");
-    }
+    precondition::equal_len("xor_gather_into", dst.len(), srcs);
     if srcs.is_empty() {
         dst.fill(0);
         return;
@@ -191,7 +237,7 @@ pub fn xor_gather_into_scalar(dst: &mut [u8], srcs: &[&[u8]]) {
 ///
 /// Panics if the slices have different lengths.
 pub fn xor_into_scalar(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "xor_into: length mismatch");
+    precondition::equal_len("xor_into", dst.len(), std::slice::from_ref(&src));
     scalar::xor_into(dst, src);
 }
 
@@ -202,9 +248,7 @@ pub fn xor_into_scalar(dst: &mut [u8], src: &[u8]) {
 ///
 /// Panics if any source length differs from `dst`.
 pub fn xor_many_into_scalar(dst: &mut [u8], srcs: &[&[u8]]) {
-    for src in srcs {
-        assert_eq!(dst.len(), src.len(), "xor_many_into: length mismatch");
-    }
+    precondition::equal_len("xor_many_into", dst.len(), srcs);
     scalar::xor_many_into(dst, srcs);
 }
 
@@ -224,6 +268,51 @@ pub fn xor_all(srcs: &[&[u8]]) -> Vec<u8> {
 /// checks (`P ^ recomputed(P) == 0`).
 pub fn is_zero(buf: &[u8]) -> bool {
     buf.iter().all(|&b| b == 0)
+}
+
+/// The shared checked-slice precondition every public kernel funnels
+/// through. This is ordinary safe code — miri executes it — and proving
+/// `src.len() == dst.len()` here is what makes the raw-pointer loops in
+/// the vector backends sound (their indices never leave `[0, dst.len())`).
+mod precondition {
+    /// Asserts every source slice has exactly `dst_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a `"length mismatch"` message naming the kernel and the
+    /// offending source index.
+    #[inline]
+    pub(super) fn equal_len(op: &str, dst_len: usize, srcs: &[&[u8]]) {
+        for (k, src) in srcs.iter().enumerate() {
+            assert!(
+                src.len() == dst_len,
+                "{op}: length mismatch — source {k} is {} bytes, dst is {dst_len}",
+                src.len(),
+            );
+        }
+    }
+}
+
+/// Scalar-shadow cross-check, compiled in with `--cfg kernel_audit`: each
+/// dispatched kernel call also runs the portable reference on a copy and
+/// the two results are compared byte-for-byte.
+#[cfg(kernel_audit)]
+mod audit {
+    /// Runs `reference` over a copy of `dst` and returns the copy.
+    pub(super) fn shadow(dst: &[u8], reference: impl FnOnce(&mut [u8])) -> Vec<u8> {
+        let mut copy = dst.to_vec();
+        reference(&mut copy);
+        copy
+    }
+
+    /// Asserts the dispatched result equals the scalar shadow.
+    pub(super) fn check(op: &str, got: &[u8], want: &[u8]) {
+        assert!(
+            got == want,
+            "kernel_audit: {op} on the {} backend diverged from the scalar reference",
+            super::active_backend().name(),
+        );
+    }
 }
 
 mod scalar {
@@ -294,10 +383,14 @@ mod avx2 {
 
     /// # Safety
     ///
-    /// Caller must have verified AVX2 support; slices must be equal length
-    /// (checked by the public wrappers).
+    /// * The caller must have verified AVX2 support at runtime
+    ///   (`is_x86_feature_detected!("avx2")`); on a CPU without AVX2 the
+    ///   256-bit instructions are undefined behaviour.
+    /// * `src.len() == dst.len()` — every pointer offset below is
+    ///   `< dst.len()`, and `src`'s bounds rely on the equality.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn xor_into(dst: &mut [u8], src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
         let n = dst.len();
         let d = dst.as_mut_ptr();
         let s = src.as_ptr();
@@ -322,10 +415,13 @@ mod avx2 {
 
     /// # Safety
     ///
-    /// Caller must have verified AVX2 support; slices must be equal length
-    /// (checked by the public wrappers).
+    /// * The caller must have verified AVX2 support at runtime; on a CPU
+    ///   without AVX2 the 256-bit instructions are undefined behaviour.
+    /// * Every `srcs[k].len() == dst.len()` — all pointer offsets below
+    ///   are `< dst.len()` and each source's bounds rely on the equality.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn xor_many_into(dst: &mut [u8], srcs: &[&[u8]]) {
+        debug_assert!(srcs.iter().all(|s| s.len() == dst.len()));
         let n = dst.len();
         let d = dst.as_mut_ptr();
         let mut i = 0;
@@ -346,10 +442,15 @@ mod avx2 {
 
     /// # Safety
     ///
-    /// Caller must have verified AVX2 support; slices must be equal length
-    /// and `srcs` non-empty (checked by the public wrappers).
+    /// * The caller must have verified AVX2 support at runtime; on a CPU
+    ///   without AVX2 the 256-bit instructions are undefined behaviour.
+    /// * Every `srcs[k].len() == dst.len()` — all pointer offsets below
+    ///   are `< dst.len()` and each source's bounds rely on the equality.
+    /// * `srcs` must be non-empty (`dst` is overwritten from the first
+    ///   source, not read).
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn xor_gather_into(dst: &mut [u8], srcs: &[&[u8]]) {
+        debug_assert!(srcs.iter().all(|s| s.len() == dst.len()));
         let (first, rest) = srcs.split_first().expect("non-empty srcs");
         let n = dst.len();
         let d = dst.as_mut_ptr();
@@ -391,10 +492,13 @@ mod neon {
 
     /// # Safety
     ///
-    /// NEON is baseline on aarch64; slices must be equal length (checked by
-    /// the public wrappers).
+    /// * NEON is baseline on the `aarch64` targets this module compiles
+    ///   for, so the feature obligation is discharged statically.
+    /// * `src.len() == dst.len()` — every pointer offset below is
+    ///   `< dst.len()`, and `src`'s bounds rely on the equality.
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn xor_into(dst: &mut [u8], src: &[u8]) {
+        debug_assert_eq!(dst.len(), src.len());
         let n = dst.len();
         let d = dst.as_mut_ptr();
         let s = src.as_ptr();
@@ -409,10 +513,13 @@ mod neon {
 
     /// # Safety
     ///
-    /// NEON is baseline on aarch64; slices must be equal length (checked by
-    /// the public wrappers).
+    /// * NEON is baseline on the `aarch64` targets this module compiles
+    ///   for, so the feature obligation is discharged statically.
+    /// * Every `srcs[k].len() == dst.len()` — all pointer offsets below
+    ///   are `< dst.len()` and each source's bounds rely on the equality.
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn xor_many_into(dst: &mut [u8], srcs: &[&[u8]]) {
+        debug_assert!(srcs.iter().all(|s| s.len() == dst.len()));
         let n = dst.len();
         let d = dst.as_mut_ptr();
         let mut i = 0;
@@ -432,10 +539,15 @@ mod neon {
 
     /// # Safety
     ///
-    /// NEON is baseline on aarch64; slices must be equal length and `srcs`
-    /// non-empty (checked by the public wrappers).
+    /// * NEON is baseline on the `aarch64` targets this module compiles
+    ///   for, so the feature obligation is discharged statically.
+    /// * Every `srcs[k].len() == dst.len()` — all pointer offsets below
+    ///   are `< dst.len()` and each source's bounds rely on the equality.
+    /// * `srcs` must be non-empty (`dst` is overwritten from the first
+    ///   source, not read).
     #[target_feature(enable = "neon")]
     pub(super) unsafe fn xor_gather_into(dst: &mut [u8], srcs: &[&[u8]]) {
+        debug_assert!(srcs.iter().all(|s| s.len() == dst.len()));
         let (first, rest) = srcs.split_first().expect("non-empty srcs");
         let n = dst.len();
         let d = dst.as_mut_ptr();

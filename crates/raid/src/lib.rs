@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod audit;
 pub mod backend;
 pub mod batch;
 pub mod mttr;

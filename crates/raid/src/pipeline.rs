@@ -147,6 +147,21 @@ impl IoPipeline {
     /// Returns the backend's [`DiskError`]; nothing is committed to the
     /// simulator or ledger in that case.
     pub fn execute(&mut self, op: &LoweredOp, scratch: &mut Stripe) -> Result<RequestSet, DiskError> {
+        // Debug builds statically audit every op before touching the
+        // backend: structural defects in the IR (out-of-scratch cells,
+        // duplicate reads/writes, plan/scratch shape skew) are lowering
+        // bugs, and executing them would silently corrupt elements.
+        #[cfg(debug_assertions)]
+        if let Err(e) = crate::audit::audit_lowered(
+            op,
+            scratch.rows(),
+            scratch.cols(),
+            self.backend.disks(),
+            None,
+        ) {
+            panic!("lowered op failed static audit: {e}");
+        }
+
         let mut rs = RequestSet::new(self.backend.disks());
 
         for &(cell, addr) in &op.reads {
@@ -194,6 +209,11 @@ impl IoPipeline {
         for &(_, addr) in &op.parity_writes {
             rs.add_parity_write(addr.disk);
         }
+        debug_assert_eq!(
+            rs,
+            crate::audit::predicted_request_set(op, self.backend.disks()),
+            "committed request set diverged from the statically predicted one"
+        );
 
         if let Some(sim) = &mut self.sim {
             self.op_latency_ms += sim.run_requests(&rs)?;

@@ -1,0 +1,631 @@
+//! Static verification of compiled [`XorPlan`]s against their [`Layout`].
+//!
+//! Three provers, all running over the symbolic domain of
+//! [`crate::symbolic`] — no data buffers are ever touched:
+//!
+//! * [`verify_encode`] — an encode plan must write **every** parity cell
+//!   exactly once, read no parity before the plan produces it, contain no
+//!   dead, duplicate or self-referential op, and leave each parity equal
+//!   to its chain equation expanded over data cells (HV Code's Eq. 1/2,
+//!   RDP's row+diagonal equations, … — whatever the layout defines);
+//! * [`verify_decode`] — a decode plan for an erasure pattern must
+//!   overwrite only erased cells and end with every erased cell equal to
+//!   the value the encode equations imply, with **no** residue of the
+//!   erased (garbage) content;
+//! * [`prove_mds`] — enumerates every single- and double-disk erasure,
+//!   plans its decode, and [`verify_decode`]s the compiled plan. Passing
+//!   is a per-`p` exhaustive proof of the MDS property for the plans the
+//!   compiler actually emits.
+//!
+//! Failures carry the offending symbolic equation, rendered in the
+//! paper's `E[i,j]` notation, not just a boolean.
+
+use std::fmt;
+
+use raid_core::bitset::BitSet;
+use raid_core::{Cell, Layout, XorPlan};
+
+use crate::symbolic::{SymExpr, SymState};
+
+/// A static-verification failure, with enough context to print the
+/// offending symbolic equation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan's grid shape differs from the layout's.
+    ShapeMismatch {
+        /// Plan shape `(rows, cols)`.
+        plan: (usize, usize),
+        /// Layout shape `(rows, cols)`.
+        layout: (usize, usize),
+    },
+    /// An encode op targets a cell the layout does not mark as parity.
+    TargetNotParity {
+        /// The offending target.
+        target: Cell,
+    },
+    /// Two ops write the same cell without a consuming read in between —
+    /// the first op is dead.
+    DuplicateTarget {
+        /// The doubly-written cell.
+        target: Cell,
+    },
+    /// An op lists its own target as a source (reads the half-written
+    /// destination).
+    SelfRead {
+        /// The offending target.
+        target: Cell,
+    },
+    /// An op lists the same source twice; over GF(2) the pair cancels, so
+    /// both reads are dead work and almost certainly a compiler bug.
+    DuplicateSource {
+        /// The op's target.
+        target: Cell,
+        /// The twice-listed source.
+        source: Cell,
+    },
+    /// An encode op reads a parity cell before the plan has produced it —
+    /// a read-before-write hazard on stale parity.
+    StaleParityRead {
+        /// The op's target.
+        target: Cell,
+        /// The parity read too early.
+        source: Cell,
+    },
+    /// The plan never writes a parity cell the layout defines.
+    MissingParity {
+        /// The unwritten parity.
+        parity: Cell,
+    },
+    /// A decode op overwrites a cell that was never erased.
+    SurvivorClobbered {
+        /// The surviving cell the plan writes.
+        target: Cell,
+    },
+    /// A cell's final symbolic value differs from what the layout
+    /// requires. The rendered equations name the basis cells.
+    WrongEquation {
+        /// The cell whose value is wrong.
+        cell: Cell,
+        /// The plan's computed expansion, rendered.
+        got: String,
+        /// The layout-required expansion, rendered.
+        want: String,
+    },
+    /// A reconstructed cell still depends on erased (unknown) content.
+    GarbageResidue {
+        /// The cell whose reconstruction is contaminated.
+        cell: Cell,
+        /// The computed expansion, rendered (garbage prints as `⊥k`).
+        got: String,
+    },
+    /// The layout's parity chains depend on each other cyclically, so no
+    /// encode order exists.
+    CyclicParityDependency,
+    /// `plan_decode` found no reconstruction for an erasure pattern — the
+    /// layout is not MDS.
+    NotDecodable {
+        /// The erased disks.
+        disks: Vec<usize>,
+    },
+    /// Context wrapper: which erasure pattern a decode failure belongs to.
+    Pattern {
+        /// The erased disks.
+        disks: Vec<usize>,
+        /// The underlying failure.
+        inner: Box<PlanError>,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::ShapeMismatch { plan, layout } => write!(
+                f,
+                "plan grid {}×{} does not match layout {}×{}",
+                plan.0, plan.1, layout.0, layout.1
+            ),
+            PlanError::TargetNotParity { target } => {
+                write!(f, "encode op writes {target}, which is not a parity cell")
+            }
+            PlanError::DuplicateTarget { target } => {
+                write!(f, "{target} is written twice; the first op is dead")
+            }
+            PlanError::SelfRead { target } => {
+                write!(f, "op for {target} reads its own target")
+            }
+            PlanError::DuplicateSource { target, source } => write!(
+                f,
+                "op for {target} lists {source} twice; the GF(2) pair cancels to nothing"
+            ),
+            PlanError::StaleParityRead { target, source } => write!(
+                f,
+                "op for {target} reads parity {source} before the plan writes it"
+            ),
+            PlanError::MissingParity { parity } => {
+                write!(f, "plan never writes parity {parity}")
+            }
+            PlanError::SurvivorClobbered { target } => {
+                write!(f, "decode plan overwrites surviving cell {target}")
+            }
+            PlanError::WrongEquation { cell, got, want } => write!(
+                f,
+                "{cell}: plan computes {cell} = {got}, but the layout requires {cell} = {want}"
+            ),
+            PlanError::GarbageResidue { cell, got } => write!(
+                f,
+                "{cell}: reconstruction still depends on erased content: {cell} = {got}"
+            ),
+            PlanError::CyclicParityDependency => {
+                write!(f, "parity chains depend on each other cyclically")
+            }
+            PlanError::NotDecodable { disks } => write!(
+                f,
+                "erasure of disk(s) {disks:?} has no decode plan — the layout is not MDS"
+            ),
+            PlanError::Pattern { disks, inner } => {
+                write!(f, "erasure of disk(s) {disks:?}: {inner}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// What [`verify_encode`] proved, with the plan's cost counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeProof {
+    /// Number of `dst = XOR(srcs)` ops in the plan.
+    pub ops: usize,
+    /// Total element reads the plan performs.
+    pub source_reads: usize,
+}
+
+/// What [`prove_mds`] proved: how many erasure patterns were verified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdsProof {
+    /// Single-disk patterns verified (= number of disks).
+    pub singles: usize,
+    /// Double-disk patterns verified (= `n·(n−1)/2`).
+    pub pairs: usize,
+}
+
+/// The correct post-encode expansion of every cell over the **initial
+/// data-cell basis**: data cells map to themselves, parity cells to the
+/// XOR of data cells their chain equation implies (cascades through
+/// parity-of-parity chains, as in RDP and HDP). Basis indices are linear
+/// cell indices over a basis of `layout.num_cells() + extra` vectors.
+///
+/// # Errors
+///
+/// Returns [`PlanError::CyclicParityDependency`] if the chains admit no
+/// evaluation order.
+pub fn expected_encoding(layout: &Layout, extra: usize) -> Result<Vec<SymExpr>, PlanError> {
+    let cols = layout.cols();
+    let ncells = layout.num_cells();
+    let nbasis = ncells + extra;
+    let mut expected: Vec<Option<SymExpr>> = (0..ncells)
+        .map(|i| {
+            layout
+                .is_data(Cell::from_index(i, cols))
+                .then(|| SymExpr::basis(nbasis, i))
+        })
+        .collect();
+
+    // Fixpoint: resolve any chain whose members are all resolved. Each
+    // round resolves at least one chain unless there is a cycle.
+    let nchains = layout.chains().len();
+    let mut resolved = 0usize;
+    while resolved < nchains {
+        let before = resolved;
+        for chain in layout.chains() {
+            let pi = chain.parity.index(cols);
+            if expected[pi].is_some() {
+                continue;
+            }
+            if chain.members.iter().all(|m| expected[m.index(cols)].is_some()) {
+                let mut acc = SymExpr::zero(nbasis);
+                for m in &chain.members {
+                    acc.xor_assign(expected[m.index(cols)].as_ref().expect("resolved member"));
+                }
+                expected[pi] = Some(acc);
+                resolved += 1;
+            }
+        }
+        if resolved == before {
+            return Err(PlanError::CyclicParityDependency);
+        }
+    }
+    Ok(expected
+        .into_iter()
+        .map(|e| e.expect("layout validation guarantees every parity owns a chain"))
+        .collect())
+}
+
+/// Proves an encode plan correct for `layout` (see the module docs for
+/// the exact obligations).
+///
+/// # Errors
+///
+/// Returns the first [`PlanError`] found; the `Display` form prints the
+/// offending symbolic equation.
+pub fn verify_encode(layout: &Layout, plan: &XorPlan) -> Result<EncodeProof, PlanError> {
+    if plan.rows() != layout.rows() || plan.cols() != layout.cols() {
+        return Err(PlanError::ShapeMismatch {
+            plan: (plan.rows(), plan.cols()),
+            layout: (layout.rows(), layout.cols()),
+        });
+    }
+    let cols = layout.cols();
+    let ncells = layout.num_cells();
+
+    // Structural pass: dead/duplicate/self-referential ops and
+    // read-before-write hazards on stale parity.
+    let mut written = BitSet::new(ncells);
+    let mut source_reads = 0usize;
+    for (target, sources) in plan.steps() {
+        if layout.is_data(target) {
+            return Err(PlanError::TargetNotParity { target });
+        }
+        if !written.insert(target.index(cols)) {
+            return Err(PlanError::DuplicateTarget { target });
+        }
+        let mut seen = BitSet::new(ncells);
+        for &s in &sources {
+            if s == target {
+                return Err(PlanError::SelfRead { target });
+            }
+            if !seen.insert(s.index(cols)) {
+                return Err(PlanError::DuplicateSource { target, source: s });
+            }
+            if !layout.is_data(s) && !written.contains(s.index(cols)) {
+                return Err(PlanError::StaleParityRead { target, source: s });
+            }
+            source_reads += 1;
+        }
+    }
+    for chain in layout.chains() {
+        if !written.contains(chain.parity.index(cols)) {
+            return Err(PlanError::MissingParity { parity: chain.parity });
+        }
+    }
+
+    // Semantic pass: symbolic execution from the identity state must land
+    // every parity on its chain equation's data-basis expansion.
+    let expected = expected_encoding(layout, 0)?;
+    let mut state = SymState::identity(layout.rows(), cols);
+    state.execute(plan).expect("shape checked above");
+    for chain in layout.chains() {
+        let got = state.expr(chain.parity);
+        let want = &expected[chain.parity.index(cols)];
+        if got != want {
+            return Err(PlanError::WrongEquation {
+                cell: chain.parity,
+                got: got.render(cols, ncells),
+                want: want.render(cols, ncells),
+            });
+        }
+    }
+    Ok(EncodeProof { ops: plan.num_ops(), source_reads })
+}
+
+/// Proves a decode plan reconstructs every cell of `lost` exactly, given a
+/// stripe whose surviving cells are consistently encoded. See
+/// [`verify_decode_targeted`] for plans that only reconstruct a subset.
+///
+/// # Errors
+///
+/// Returns the first [`PlanError`] found.
+pub fn verify_decode(layout: &Layout, lost: &[Cell], plan: &XorPlan) -> Result<(), PlanError> {
+    verify_decode_targeted(layout, lost, lost, plan)
+}
+
+/// Like [`verify_decode`], but only the `required` cells (a subset of
+/// `lost`) must come out exactly right — the contract of
+/// `plan_targeted_decode`'s backward slices.
+///
+/// # Errors
+///
+/// Returns the first [`PlanError`] found.
+pub fn verify_decode_targeted(
+    layout: &Layout,
+    lost: &[Cell],
+    required: &[Cell],
+    plan: &XorPlan,
+) -> Result<(), PlanError> {
+    if plan.rows() != layout.rows() || plan.cols() != layout.cols() {
+        return Err(PlanError::ShapeMismatch {
+            plan: (plan.rows(), plan.cols()),
+            layout: (layout.rows(), layout.cols()),
+        });
+    }
+    let cols = layout.cols();
+    let ncells = layout.num_cells();
+    let mut lost_set = BitSet::new(ncells);
+    for &c in lost {
+        lost_set.insert(c.index(cols));
+    }
+
+    // Structural pass: only erased cells may be written, each at most once.
+    let mut written = BitSet::new(ncells);
+    for (target, sources) in plan.steps() {
+        if !lost_set.contains(target.index(cols)) {
+            return Err(PlanError::SurvivorClobbered { target });
+        }
+        if !written.insert(target.index(cols)) {
+            return Err(PlanError::DuplicateTarget { target });
+        }
+        let mut seen = BitSet::new(ncells);
+        for &s in &sources {
+            if s == target {
+                return Err(PlanError::SelfRead { target });
+            }
+            if !seen.insert(s.index(cols)) {
+                return Err(PlanError::DuplicateSource { target, source: s });
+            }
+        }
+    }
+
+    // Initial symbolic stripe: survivors hold their encoded expansion over
+    // the data basis; erased cell k holds garbage vector `ncells + k`.
+    let encoded = expected_encoding(layout, lost.len())?;
+    let mut state = SymState::identity_with_extra(layout.rows(), cols, lost.len());
+    for (i, expansion) in encoded.iter().enumerate() {
+        let cell = Cell::from_index(i, cols);
+        if let Some(k) = lost.iter().position(|&l| l == cell) {
+            state.set_expr(cell, SymExpr::basis(ncells + lost.len(), ncells + k));
+        } else {
+            state.set_expr(cell, expansion.clone());
+        }
+    }
+    state.execute(plan).expect("shape checked above");
+
+    for &cell in required {
+        let got = state.expr(cell);
+        if got.has_garbage(ncells) {
+            return Err(PlanError::GarbageResidue {
+                cell,
+                got: got.render(cols, ncells),
+            });
+        }
+        let want = &encoded[cell.index(cols)];
+        if got != want {
+            return Err(PlanError::WrongEquation {
+                cell,
+                got: got.render(cols, ncells),
+                want: want.render(cols, ncells),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively proves the MDS property for the plans the decode compiler
+/// emits: every single- and double-disk erasure pattern gets a plan and
+/// that plan symbolically reconstructs every erased cell.
+///
+/// # Errors
+///
+/// Returns [`PlanError::NotDecodable`] (wrapped with the pattern) if some
+/// pattern has no plan, or the wrapped verification failure if a plan is
+/// wrong.
+pub fn prove_mds(layout: &Layout) -> Result<MdsProof, PlanError> {
+    let n = layout.cols();
+    let verify_pattern = |disks: &[usize]| -> Result<(), PlanError> {
+        let lost: Vec<Cell> = disks.iter().flat_map(|&d| layout.cells_in_col(d)).collect();
+        let decode = raid_core::decoder::plan_decode(layout, &lost)
+            .map_err(|_| PlanError::NotDecodable { disks: disks.to_vec() })?;
+        let compiled = XorPlan::compile_decode(layout, &decode);
+        verify_decode(layout, &lost, &compiled).map_err(|e| PlanError::Pattern {
+            disks: disks.to_vec(),
+            inner: Box::new(e),
+        })
+    };
+    for f in 0..n {
+        verify_pattern(&[f])?;
+    }
+    for f1 in 0..n {
+        for f2 in (f1 + 1)..n {
+            verify_pattern(&[f1, f2])?;
+        }
+    }
+    Ok(MdsProof { singles: n, pairs: n * (n - 1) / 2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raid_core::layout::{Chain, ElementKind, ParityClass};
+
+    /// X-Code p=3: a genuine MDS layout over 3 columns.
+    fn xcode3() -> Layout {
+        let c = Cell::new;
+        let mut kinds = vec![ElementKind::Data; 3];
+        kinds.extend(vec![ElementKind::Parity(ParityClass::Diagonal); 3]);
+        kinds.extend(vec![ElementKind::Parity(ParityClass::AntiDiagonal); 3]);
+        let mut chains = Vec::new();
+        for i in 0..3usize {
+            chains.push(Chain {
+                class: ParityClass::Diagonal,
+                parity: c(1, i),
+                members: vec![c(0, (i + 2) % 3)],
+            });
+            chains.push(Chain {
+                class: ParityClass::AntiDiagonal,
+                parity: c(2, i),
+                members: vec![c(0, (i + 1) % 3)],
+            });
+        }
+        Layout::new(3, 3, kinds, chains).unwrap()
+    }
+
+    /// Cascaded toy: p = d0 ^ d1, q = d0 ^ p (parity-of-parity).
+    fn cascade() -> Layout {
+        let c = Cell::new;
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+            ElementKind::Parity(ParityClass::Diagonal),
+        ];
+        let chains = vec![
+            Chain { class: ParityClass::Horizontal, parity: c(0, 2), members: vec![c(0, 0), c(0, 1)] },
+            Chain { class: ParityClass::Diagonal, parity: c(0, 3), members: vec![c(0, 0), c(0, 2)] },
+        ];
+        Layout::new(1, 4, kinds, chains).unwrap()
+    }
+
+    #[test]
+    fn compiled_encode_plans_verify() {
+        for layout in [xcode3(), cascade()] {
+            let proof = verify_encode(&layout, layout.encode_plan()).unwrap();
+            assert_eq!(proof.ops, layout.chains().len());
+        }
+    }
+
+    #[test]
+    fn expected_encoding_expands_cascades() {
+        let layout = cascade();
+        let exp = expected_encoding(&layout, 0).unwrap();
+        // q = d0 ^ (d0 ^ d1) = d1.
+        assert_eq!(exp[3], SymExpr::basis(4, 1));
+    }
+
+    #[test]
+    fn wrong_source_list_is_rejected_with_the_equation() {
+        let layout = cascade();
+        let c = Cell::new;
+        // Correct: p = d0 ^ d1. Corrupt: p = d1 only.
+        let bad = XorPlan::from_steps(
+            1,
+            4,
+            [
+                (c(0, 2), [c(0, 1)].as_slice()),
+                (c(0, 3), [c(0, 0), c(0, 2)].as_slice()),
+            ],
+        );
+        let err = verify_encode(&layout, &bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("E[0,2]"), "{msg}");
+        assert!(msg.contains("requires"), "{msg}");
+        assert!(msg.contains("E[0,0] ⊕ E[0,1]"), "{msg}");
+    }
+
+    #[test]
+    fn stale_parity_read_is_a_hazard() {
+        let layout = cascade();
+        let c = Cell::new;
+        // q reads p before p is produced.
+        let bad = XorPlan::from_steps(
+            1,
+            4,
+            [
+                (c(0, 3), [c(0, 0), c(0, 2)].as_slice()),
+                (c(0, 2), [c(0, 0), c(0, 1)].as_slice()),
+            ],
+        );
+        assert!(matches!(
+            verify_encode(&layout, &bad),
+            Err(PlanError::StaleParityRead { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_and_duplicate_ops_rejected() {
+        let layout = cascade();
+        let c = Cell::new;
+        let missing = XorPlan::from_steps(1, 4, [(c(0, 2), [c(0, 0), c(0, 1)].as_slice())]);
+        assert!(matches!(
+            verify_encode(&layout, &missing),
+            Err(PlanError::MissingParity { .. })
+        ));
+        let dup = XorPlan::from_steps(
+            1,
+            4,
+            [
+                (c(0, 2), [c(0, 0), c(0, 1)].as_slice()),
+                (c(0, 2), [c(0, 0), c(0, 1)].as_slice()),
+                (c(0, 3), [c(0, 0), c(0, 2)].as_slice()),
+            ],
+        );
+        assert!(matches!(verify_encode(&layout, &dup), Err(PlanError::DuplicateTarget { .. })));
+        let dup_src = XorPlan::from_steps(
+            1,
+            4,
+            [
+                (c(0, 2), [c(0, 0), c(0, 1), c(0, 0), c(0, 0)].as_slice()),
+                (c(0, 3), [c(0, 0), c(0, 2)].as_slice()),
+            ],
+        );
+        assert!(matches!(
+            verify_encode(&layout, &dup_src),
+            Err(PlanError::DuplicateSource { .. })
+        ));
+    }
+
+    #[test]
+    fn mds_proof_on_xcode3() {
+        let proof = prove_mds(&xcode3()).unwrap();
+        assert_eq!(proof.singles, 3);
+        assert_eq!(proof.pairs, 3);
+    }
+
+    #[test]
+    fn non_mds_layout_fails_the_proof() {
+        // Single parity: any double erasure touching d0,d1 is undecodable.
+        let c = Cell::new;
+        let kinds = vec![
+            ElementKind::Data,
+            ElementKind::Data,
+            ElementKind::Parity(ParityClass::Horizontal),
+        ];
+        let chains = vec![Chain {
+            class: ParityClass::Horizontal,
+            parity: c(0, 2),
+            members: vec![c(0, 0), c(0, 1)],
+        }];
+        let layout = Layout::new(1, 3, kinds, chains).unwrap();
+        assert!(matches!(prove_mds(&layout), Err(PlanError::NotDecodable { .. })));
+    }
+
+    #[test]
+    fn decode_that_leaves_garbage_is_rejected() {
+        let layout = xcode3();
+        let lost: Vec<Cell> = layout.cells_in_col(0);
+        // A "decode" that copies an erased cell from another erased cell.
+        let bad = XorPlan::from_steps(
+            3,
+            3,
+            [
+                (Cell::new(0, 0), [Cell::new(1, 0)].as_slice()),
+                (Cell::new(1, 0), [Cell::new(0, 2)].as_slice()),
+                (Cell::new(2, 0), [Cell::new(0, 1)].as_slice()),
+            ],
+        );
+        let err = verify_decode(&layout, &lost, &bad).unwrap_err();
+        assert!(matches!(err, PlanError::GarbageResidue { .. }), "{err}");
+        assert!(err.to_string().contains('⊥'), "{err}");
+    }
+
+    #[test]
+    fn decode_clobbering_a_survivor_is_rejected() {
+        let layout = xcode3();
+        let lost: Vec<Cell> = layout.cells_in_col(0);
+        let bad = XorPlan::from_steps(3, 3, [(Cell::new(0, 1), [Cell::new(0, 2)].as_slice())]);
+        assert!(matches!(
+            verify_decode(&layout, &lost, &bad),
+            Err(PlanError::SurvivorClobbered { .. })
+        ));
+    }
+
+    #[test]
+    fn targeted_slices_verify() {
+        let layout = xcode3();
+        let mut lost = layout.cells_in_col(0);
+        lost.extend(layout.cells_in_col(1));
+        let wanted = [Cell::new(0, 0)];
+        let plan =
+            raid_core::decoder::plan_targeted_decode(&layout, &lost, &wanted).unwrap();
+        let compiled = XorPlan::compile_decode(&layout, &plan);
+        verify_decode_targeted(&layout, &lost, &wanted, &compiled).unwrap();
+    }
+}

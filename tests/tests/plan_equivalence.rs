@@ -6,28 +6,17 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use hv_code::HvCode;
-use raid_baselines::{EvenOddCode, HCode, HdpCode, PCode, RdpCode, XCode};
 use raid_core::{ArrayCode, Stripe, XorPlan};
 
 fn small_prime() -> impl Strategy<Value = usize> {
     prop::sample::select(vec![5usize, 7, 11, 13, 17])
 }
 
-/// The codes under test at prime `p`. Like `integration::all_codes` but
-/// without Liberation, whose constructor runs a multi-second bit-matrix
-/// search at p = 17 (its plan equivalence is covered by the seed suites
-/// at small primes).
+/// The codes under test at prime `p` — every registered code, Liberation
+/// included now that its constructor uses the closed-form matrices
+/// instead of a multi-second backtracking search.
 fn codes(p: usize) -> Vec<Arc<dyn ArrayCode>> {
-    vec![
-        Arc::new(HvCode::new(p).expect("prime")) as Arc<dyn ArrayCode>,
-        Arc::new(RdpCode::new(p).expect("prime")),
-        Arc::new(EvenOddCode::new(p).expect("prime")),
-        Arc::new(XCode::new(p).expect("prime")),
-        Arc::new(HCode::new(p).expect("prime")),
-        Arc::new(HdpCode::new(p).expect("prime")),
-        Arc::new(PCode::new(p).expect("prime")),
-    ]
+    integration::all_codes(p)
 }
 
 proptest! {
