@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench bench-smoke lint miri test-kernel-audit verify clean
+.PHONY: build test bench bench-smoke chaos-smoke lint miri test-kernel-audit verify clean
 
 build:
 	$(CARGO) build --release
@@ -18,6 +18,14 @@ bench:
 # (and that the BENCH_*.json files are emitted) in seconds, not minutes.
 bench-smoke:
 	RAID_BENCH_SMOKE=1 $(CARGO) bench -p raid-bench
+
+# Fixed-seed chaos campaigns over both backends: randomized fault
+# injection (dead disks, transients, latent sectors, torn writes) plus
+# crash-at-every-journal-point sweeps, verified against a shadow model.
+# Deterministic and fast (<30 s); failures print the reproducing seed.
+chaos-smoke:
+	$(CARGO) run -q --release -p hvraid -- chaos --seed 1 --episodes 25
+	$(CARGO) run -q --release -p hvraid -- chaos --seed 2 --episodes 25 --backend mem --spares 0
 
 # Static analysis gate: warnings-as-errors clippy across every target,
 # the (gated) miri pass over the unsafe kernels, then the symbolic
@@ -52,6 +60,7 @@ verify:
 	$(CARGO) build --release
 	$(CARGO) test -q
 	$(MAKE) lint
+	$(MAKE) chaos-smoke
 	RAID_BENCH_SMOKE=1 $(CARGO) bench -p raid-bench
 
 clean:

@@ -7,7 +7,8 @@ use disk_sim::{DiskArray, DiskProfile};
 use raid_array::mttr::estimate_rebuild;
 use raid_array::reliability::estimate_mttdl;
 use raid_array::{
-    replay_write_trace, DiskBackend, FileBackend, MemBackend, RaidVolume, VolumeMeta,
+    chaos, replay_write_trace, ChaosConfig, DiskBackend, FileBackend, JournalRecovery,
+    MemBackend, RaidVolume, VolumeError, VolumeMeta,
 };
 use raid_core::plan::update::update_complexity;
 use raid_core::schedule::double_failure_schedule;
@@ -43,8 +44,19 @@ commands:
                                            (create, write, fail, degraded read,
                                            rebuild) cross-checked byte-for-byte
                                            against an in-memory twin
-  fsck      --dir <dir> [--repair true]    reopen a file-backed volume, verify
-                                           parity, optionally rebuild + scrub
+  fsck      --dir <dir> [--repair true] [--json]
+                                           reopen a file-backed volume, report journal
+                                           rollbacks and in-flight rebuild checkpoints,
+                                           verify parity, optionally rebuild + scrub
+                                           (exit 0 clean, 2 repaired, 3 unrecoverable)
+  chaos     [--seed N] [--episodes 100] [--backend both|mem] [--dir <dir>]
+            [--code hv] [--p 5] [--stripes 4] [--element 16] [--spares 2]
+            [--steps 12] [--sweeps true]
+                                           randomized fault-injection campaign (dead
+                                           disks, transients, latent sectors, torn
+                                           writes, crash-at-every-journal-point sweeps)
+                                           verified against a shadow model; any failure
+                                           prints the seed that reproduces it
   lint      [--code <name>] [--p <prime>] [--all] [--json]
                                            statically verify compiled plans: symbolic
                                            GF(2) encode proof, exhaustive single/double
@@ -53,25 +65,43 @@ commands:
 
 codes: hv rdp evenodd xcode hcode hdp pcode liberation";
 
-/// Dispatches a parsed command line.
+/// Dispatches a parsed command line, returning the text to print.
 ///
 /// # Errors
 ///
 /// Returns a user-facing message on bad input.
 pub fn run(parsed: &Parsed) -> Result<String, String> {
+    run_with_status(parsed).map(|(out, _)| out)
+}
+
+/// Dispatches a parsed command line, returning the text to print and the
+/// process exit code. Most commands exit 0 on success; `fsck` uses the
+/// fsck convention (0 clean, 2 repaired, 3 unrecoverable; operational
+/// errors are `Err` and exit 1).
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad input.
+pub fn run_with_status(parsed: &Parsed) -> Result<(String, u8), String> {
     match parsed.command.as_str() {
-        "layout" => layout(parsed),
-        "check" => check(parsed),
-        "info" => info(parsed),
-        "demo" => demo(parsed),
-        "replay" => replay(parsed),
-        "estimate" => estimate(parsed),
-        "batch" => batch(parsed),
-        "volume" => volume_lifecycle(parsed),
         "fsck" => fsck(parsed),
-        "lint" => lint(parsed),
-        "help" | "--help" => Ok(USAGE.to_string()),
-        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+        other => {
+            let out = match other {
+                "layout" => layout(parsed),
+                "check" => check(parsed),
+                "info" => info(parsed),
+                "demo" => demo(parsed),
+                "replay" => replay(parsed),
+                "estimate" => estimate(parsed),
+                "batch" => batch(parsed),
+                "volume" => volume_lifecycle(parsed),
+                "chaos" => chaos_campaign(parsed),
+                "lint" => lint(parsed),
+                "help" | "--help" => Ok(USAGE.to_string()),
+                _ => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+            }?;
+            Ok((out, 0))
+        }
     }
 }
 
@@ -346,6 +376,7 @@ fn volume_lifecycle(parsed: &Parsed) -> Result<String, String> {
         stripes,
         element_size: element,
         rotate: false,
+        rebuild_checkpoint: None,
     }
     .save(dir)
     .map_err(|e| format!("{dir}: {e}"))?;
@@ -403,16 +434,98 @@ fn volume_lifecycle(parsed: &Parsed) -> Result<String, String> {
 }
 
 /// Reopens a file-backed volume and verifies it; `--repair true` rebuilds
-/// failed disks and scrubs silent corruption first.
-fn fsck(parsed: &Parsed) -> Result<String, String> {
+/// failed disks (resuming any checkpointed rebuild) and scrubs silent
+/// corruption first. Reports journal rollbacks performed by the reopen.
+///
+/// Exit status follows the fsck convention: 0 clean, 2 clean after
+/// repairs, 3 unrecoverable or errors left uncorrected.
+fn fsck(parsed: &Parsed) -> Result<(String, u8), String> {
     let dir = parsed.require("dir")?;
+    let repair = parsed.get_or("repair", false)?;
+    let json = parsed.get_or("json", false)?;
     let meta = VolumeMeta::load(dir).map_err(|e| format!("{dir}: {e}"))?;
     let code = build(&meta.code, meta.p)?;
     let backend = FileBackend::open(dir).map_err(|e| format!("{dir}: {e}"))?;
-    let mut volume = RaidVolume::open(Arc::clone(&code), Box::new(backend), meta.rotate)
-        .map_err(|e| e.to_string())?;
-    let repair = parsed.get_or("repair", false)?;
+    // Opening replays the undo journal; remember what it did so the
+    // operator learns a torn write was rolled back.
+    let journal = backend.recovered_journal();
+    let mut volume = match RaidVolume::open(Arc::clone(&code), Box::new(backend), meta.rotate) {
+        Ok(v) => v,
+        Err(VolumeError::TooManyFailures { failed }) => {
+            let detail =
+                format!("{failed} failed disks exceed RAID-6's two-erasure tolerance");
+            return Ok(if json {
+                (fsck_json(&meta, &[], journal.as_ref(), None, 0, false, "unrecoverable"), 3)
+            } else {
+                (format!("fsck: UNRECOVERABLE — {detail} ✘"), 3)
+            });
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    let checkpoint = volume.rebuild_progress();
 
+    let mut notes = Vec::new();
+    match &journal {
+        Some(JournalRecovery::RolledBack { elements }) => {
+            notes.push(format!("rolled back a torn write ({elements} journaled elements)"));
+        }
+        Some(JournalRecovery::DiscardedTorn) => {
+            notes.push("discarded a torn journal (write never began)".to_string());
+        }
+        None => {}
+    }
+    if let Some(cp) = &checkpoint {
+        notes.push(format!(
+            "rebuild in flight: disks {:?} checkpointed at stripe {}",
+            cp.disks, cp.next_stripe
+        ));
+    }
+
+    let failed = volume.failed_disks();
+    let mut rebuilt = false;
+    let mut scrub_repairs = 0usize;
+    if !failed.is_empty() {
+        notes.push(format!("failed disks: {failed:?}"));
+        if repair {
+            let io = volume.rebuild().map_err(|e| e.to_string())?;
+            notes.push(format!("rebuilt onto spares ({} element requests)", io.total()));
+            rebuilt = true;
+        }
+    }
+    if repair && volume.failed_disks().is_empty() {
+        let findings = volume.scrub().map_err(|e| e.to_string())?;
+        scrub_repairs = findings.len();
+        if scrub_repairs > 0 {
+            notes.push(format!("scrub repaired {scrub_repairs} stripe(s)"));
+        }
+    }
+
+    let consistent = volume.verify_all();
+    let repaired = journal.is_some() || rebuilt || scrub_repairs > 0;
+    let (status, exit) = if consistent && !repaired {
+        ("clean", 0u8)
+    } else if consistent {
+        ("repaired", 2)
+    } else if !volume.failed_disks().is_empty() {
+        ("degraded", 3)
+    } else {
+        ("unrecoverable", 3)
+    };
+
+    if json {
+        return Ok((
+            fsck_json(
+                &meta,
+                &volume.failed_disks(),
+                journal.as_ref(),
+                checkpoint.as_ref(),
+                scrub_repairs,
+                rebuilt,
+                status,
+            ),
+            exit,
+        ));
+    }
     let mut out = format!(
         "{} at p = {}: {} stripes × {} B elements on {} disks ({dir})\n",
         code.name(),
@@ -421,31 +534,97 @@ fn fsck(parsed: &Parsed) -> Result<String, String> {
         volume.element_size(),
         volume.disks(),
     );
-    let failed = volume.failed_disks();
-    if !failed.is_empty() {
-        out.push_str(&format!("  failed disks: {failed:?}\n"));
-        if repair {
-            let io = volume.rebuild().map_err(|e| e.to_string())?;
-            out.push_str(&format!(
-                "  rebuilt onto spares ({} element requests)\n",
-                io.total()
-            ));
+    for n in &notes {
+        out.push_str(&format!("  {n}\n"));
+    }
+    out.push_str(match status {
+        "clean" => "fsck: volume clean ✔",
+        "repaired" => "fsck: volume repaired, now clean ✔",
+        "degraded" => "fsck: volume DEGRADED — run with --repair true to rebuild ✘",
+        _ => "fsck: PARITY INCONSISTENT — unrecoverable ✘",
+    });
+    Ok((out, exit))
+}
+
+/// The machine-readable fsck report (hand-rolled, dependency-free JSON).
+fn fsck_json(
+    meta: &VolumeMeta,
+    failed: &[usize],
+    journal: Option<&JournalRecovery>,
+    checkpoint: Option<&raid_array::RebuildCheckpoint>,
+    scrub_repairs: usize,
+    rebuilt: bool,
+    status: &str,
+) -> String {
+    let list = |xs: &[usize]| {
+        xs.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(",")
+    };
+    let journal = match journal {
+        None => "null".to_string(),
+        Some(JournalRecovery::RolledBack { elements }) => {
+            format!("{{\"rolled_back_elements\":{elements}}}")
         }
+        Some(JournalRecovery::DiscardedTorn) => "\"discarded_torn\"".to_string(),
+    };
+    let checkpoint = match checkpoint {
+        None => "null".to_string(),
+        Some(cp) => format!(
+            "{{\"disks\":[{}],\"next_stripe\":{}}}",
+            list(&cp.disks),
+            cp.next_stripe
+        ),
+    };
+    format!(
+        "{{\"code\":\"{}\",\"p\":{},\"stripes\":{},\"element_size\":{},\
+         \"failed_disks\":[{}],\"journal_recovery\":{journal},\
+         \"rebuild_checkpoint\":{checkpoint},\"rebuilt\":{rebuilt},\
+         \"scrub_repairs\":{scrub_repairs},\"status\":\"{status}\"}}",
+        meta.code,
+        meta.p,
+        meta.stripes,
+        meta.element_size,
+        list(failed),
+    )
+}
+
+/// Runs a randomized fault-injection campaign (see [`raid_array::chaos`]).
+fn chaos_campaign(parsed: &Parsed) -> Result<String, String> {
+    let name = parsed.get_or("code", "hv".to_string())?;
+    let p = parsed.get_or("p", 5usize)?;
+    let code = build(&name, p)?;
+    let defaults = ChaosConfig::default();
+    let backend = parsed.get_or("backend", "both".to_string())?;
+    let seed = parsed.get_or("seed", defaults.seed)?;
+    let cfg = ChaosConfig {
+        seed,
+        episodes: parsed.get_or("episodes", defaults.episodes)?,
+        steps_per_episode: parsed.get_or("steps", defaults.steps_per_episode)?,
+        stripes: parsed.get_or("stripes", defaults.stripes)?,
+        element_size: parsed.get_or("element", defaults.element_size)?,
+        spares: parsed.get_or("spares", defaults.spares)?,
+        dir: match backend.as_str() {
+            "mem" => None,
+            "both" => Some(match parsed.flags.get("dir") {
+                Some(d) => std::path::PathBuf::from(d),
+                None => std::env::temp_dir()
+                    .join(format!("hvraid-chaos-{seed}-{}", std::process::id())),
+            }),
+            other => {
+                return Err(format!("unknown backend '{other}' (expected both or mem)"))
+            }
+        },
+        crash_sweeps: parsed.get_or("sweeps", defaults.crash_sweeps)?,
+    };
+    let scratch = cfg.dir.clone().filter(|_| !parsed.flags.contains_key("dir"));
+    let result = chaos::run(&code, &cfg);
+    if let Some(d) = scratch {
+        let _ = std::fs::remove_dir_all(d);
     }
-    if repair && volume.failed_disks().is_empty() {
-        let findings = volume.scrub().map_err(|e| e.to_string())?;
-        if !findings.is_empty() {
-            out.push_str(&format!("  scrub repaired {} stripe(s)\n", findings.len()));
-        }
-    }
-    if volume.verify_all() {
-        out.push_str("fsck: volume clean ✔");
-    } else if !volume.failed_disks().is_empty() {
-        out.push_str("fsck: volume DEGRADED — run with --repair true to rebuild ✘");
-    } else {
-        out.push_str("fsck: PARITY INCONSISTENT ✘");
-    }
-    Ok(out)
+    let report = result.map_err(|f| f.to_string())?;
+    Ok(format!(
+        "{} at p = {p}, seed {seed}\n{report}\nreproduce with `hvraid chaos --seed {seed}`",
+        code.name()
+    ))
 }
 
 fn lint(parsed: &Parsed) -> Result<String, String> {
@@ -512,6 +691,10 @@ mod tests {
         run(&parse(line.iter().map(|s| s.to_string())).unwrap())
     }
 
+    fn run_line_status(line: &[&str]) -> Result<(String, u8), String> {
+        run_with_status(&parse(line.iter().map(|s| s.to_string())).unwrap())
+    }
+
     #[test]
     fn batch_encodes_and_rebuilds() {
         for threads in ["1", "4"] {
@@ -576,8 +759,74 @@ mod tests {
         let out =
             run_line(&["fsck", "--dir", dir.to_str().unwrap(), "--repair", "true"]).unwrap();
         assert!(out.contains("rebuilt onto spares"), "{out}");
-        assert!(out.contains("volume clean ✔"), "{out}");
+        assert!(out.contains("repaired, now clean ✔"), "{out}");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fsck_exit_codes_distinguish_clean_repaired_unrecoverable() {
+        let dir = std::env::temp_dir().join("hvraid_fsck_exit_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_line(&[
+            "volume", "--code", "hv", "--p", "5", "--stripes", "3", "--element", "16",
+            "--dir", dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        let d = dir.to_str().unwrap();
+
+        // Clean volume: exit 0.
+        let (out, status) = run_line_status(&["fsck", "--dir", d]).unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.contains("clean ✔"), "{out}");
+
+        // Degraded, no --repair: errors left uncorrected, exit 3.
+        {
+            let mut b = raid_array::FileBackend::open(&dir).unwrap();
+            b.fail(1).unwrap();
+        }
+        let (out, status) = run_line_status(&["fsck", "--dir", d]).unwrap();
+        assert_eq!(status, 3, "{out}");
+        assert!(out.contains("DEGRADED"), "{out}");
+
+        // Repaired: exit 2, and a rerun is clean again (exit 0).
+        let (out, status) =
+            run_line_status(&["fsck", "--dir", d, "--repair", "true"]).unwrap();
+        assert_eq!(status, 2, "{out}");
+        assert!(out.contains("repaired, now clean ✔"), "{out}");
+        let (_, status) = run_line_status(&["fsck", "--dir", d]).unwrap();
+        assert_eq!(status, 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fsck_json_is_machine_readable() {
+        let dir = std::env::temp_dir().join("hvraid_fsck_json_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_line(&[
+            "volume", "--code", "hv", "--p", "5", "--stripes", "3", "--element", "16",
+            "--dir", dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        let (out, status) =
+            run_line_status(&["fsck", "--dir", dir.to_str().unwrap(), "--json"]).unwrap();
+        assert_eq!(status, 0, "{out}");
+        assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
+        assert!(out.contains("\"status\":\"clean\""), "{out}");
+        assert!(out.contains("\"journal_recovery\":null"), "{out}");
+        assert!(out.contains("\"rebuild_checkpoint\":null"), "{out}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn chaos_runs_a_small_deterministic_campaign() {
+        let out = run_line(&[
+            "chaos", "--seed", "11", "--episodes", "3", "--backend", "mem",
+        ])
+        .unwrap();
+        assert!(out.contains("seed 11"), "{out}");
+        assert!(out.contains("3 episodes"), "{out}");
+        assert!(out.contains("all consistent"), "{out}");
+        assert!(out.contains("reproduce with `hvraid chaos --seed 11`"), "{out}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::process::ExitCode;
 
 use hvraid::args::parse;
-use hvraid::commands::{run, USAGE};
+use hvraid::commands::{run_with_status, USAGE};
 
 fn main() -> ExitCode {
     let parsed = match parse(std::env::args().skip(1)) {
@@ -14,10 +14,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&parsed) {
-        Ok(out) => {
+    match run_with_status(&parsed) {
+        Ok((out, status)) => {
             println!("{out}");
-            ExitCode::SUCCESS
+            ExitCode::from(status)
         }
         Err(e) => {
             eprintln!("{e}");

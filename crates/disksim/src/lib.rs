@@ -27,5 +27,5 @@ pub mod profile;
 pub mod recovery;
 pub mod stats;
 
-pub use array::{DiskArray, DiskError};
+pub use array::{DiskArray, DiskError, ErrorClass};
 pub use profile::DiskProfile;

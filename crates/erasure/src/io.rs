@@ -144,6 +144,14 @@ pub struct IoLedger {
     reads: Vec<u64>,
     data_writes: Vec<u64>,
     parity_writes: Vec<u64>,
+    /// Operation retries after transient errors.
+    retries: u64,
+    /// Latent sector errors repaired by reconstruct-and-rewrite.
+    latent_repairs: u64,
+    /// Health-state transition log (`"healthy->degraded(1): disk #3 dead"`)
+    /// in the order they occurred, so replay/reports can show what each
+    /// failure episode cost.
+    transitions: Vec<String>,
 }
 
 impl IoLedger {
@@ -153,6 +161,9 @@ impl IoLedger {
             reads: vec![0; disks],
             data_writes: vec![0; disks],
             parity_writes: vec![0; disks],
+            retries: 0,
+            latent_repairs: 0,
+            transitions: Vec::new(),
         }
     }
 
@@ -193,6 +204,36 @@ impl IoLedger {
     /// Records `n` parity-element writes on `disk`.
     pub fn add_parity_writes(&mut self, disk: usize, n: u64) {
         self.parity_writes[disk] += n;
+    }
+
+    /// Records one operation retry after a transient error.
+    pub fn note_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Records one latent-sector reconstruct-and-rewrite repair.
+    pub fn note_latent_repair(&mut self) {
+        self.latent_repairs += 1;
+    }
+
+    /// Appends a health-state transition to the log.
+    pub fn note_transition(&mut self, transition: impl Into<String>) {
+        self.transitions.push(transition.into());
+    }
+
+    /// Operation retries recorded so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Latent-sector repairs recorded so far.
+    pub fn latent_repairs(&self) -> u64 {
+        self.latent_repairs
+    }
+
+    /// The health-state transition log, oldest first.
+    pub fn transitions(&self) -> &[String] {
+        &self.transitions
     }
 
     /// Per-disk read counts.
@@ -260,6 +301,9 @@ impl IoLedger {
         for (a, b) in self.parity_writes.iter_mut().zip(&other.parity_writes) {
             *a += b;
         }
+        self.retries += other.retries;
+        self.latent_repairs += other.latent_repairs;
+        self.transitions.extend(other.transitions.iter().cloned());
     }
 
     /// The ledger's growth since `baseline` (an earlier snapshot of the
@@ -281,6 +325,19 @@ impl IoLedger {
             reads: sub(&self.reads, &baseline.reads),
             data_writes: sub(&self.data_writes, &baseline.data_writes),
             parity_writes: sub(&self.parity_writes, &baseline.parity_writes),
+            retries: self
+                .retries
+                .checked_sub(baseline.retries)
+                .expect("baseline is not an earlier snapshot"),
+            latent_repairs: self
+                .latent_repairs
+                .checked_sub(baseline.latent_repairs)
+                .expect("baseline is not an earlier snapshot"),
+            transitions: self
+                .transitions
+                .get(baseline.transitions.len()..)
+                .expect("baseline is not an earlier snapshot")
+                .to_vec(),
         }
     }
 
@@ -320,7 +377,11 @@ impl fmt::Display for IoLedger {
             self.reads,
             self.writes(),
             self.write_balance_rate()
-        )
+        )?;
+        if self.retries > 0 || self.latent_repairs > 0 {
+            write!(f, " retries={} latent_repairs={}", self.retries, self.latent_repairs)?;
+        }
+        Ok(())
     }
 }
 
@@ -414,6 +475,30 @@ mod tests {
         let d = t.delta_since(&snap);
         assert_eq!(d.total_reads(), 1);
         assert_eq!(d.total_writes(), 3);
+    }
+
+    #[test]
+    fn healing_counters_merge_and_delta() {
+        let mut a = IoLedger::new(2);
+        a.note_retry();
+        a.note_retry();
+        a.note_latent_repair();
+        a.note_transition("healthy->degraded(1): disk #0 dead");
+        let snap = a.clone();
+        a.note_retry();
+        a.note_transition("degraded(1)->healthy: rebuild complete");
+        let d = a.delta_since(&snap);
+        assert_eq!(d.retries(), 1);
+        assert_eq!(d.latent_repairs(), 0);
+        assert_eq!(d.transitions(), ["degraded(1)->healthy: rebuild complete"]);
+
+        let mut b = IoLedger::new(2);
+        b.note_latent_repair();
+        b.merge(&a);
+        assert_eq!(b.retries(), 3);
+        assert_eq!(b.latent_repairs(), 2);
+        assert_eq!(b.transitions().len(), 2);
+        assert!(format!("{b}").contains("retries=3"));
     }
 
     #[test]

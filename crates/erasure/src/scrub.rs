@@ -41,19 +41,14 @@ pub enum ScrubReport {
 /// an optimal-update code); a corrupted *parity* element violates only its
 /// own chain. Both signatures are matched; ambiguity (several candidate
 /// cells with the same signature) is reported as unlocalizable rather than
-/// guessed at.
+/// guessed at. A candidate repair is additionally *verified*: if rewriting
+/// the candidate does not make every chain consistent — e.g. two corrupted
+/// parities whose violation signature happens to coincide with a data
+/// cell's — the repair is rolled back and the stripe reported
+/// unlocalizable, so multi-element damage is never mis-repaired as a
+/// single element.
 pub fn scrub(stripe: &mut Stripe, layout: &Layout) -> ScrubReport {
-    // Collect violated chains.
-    let mut violated: BTreeSet<usize> = BTreeSet::new();
-    for (idx, chain) in layout.chains().iter().enumerate() {
-        let mut acc = stripe.element(chain.parity).to_vec();
-        for m in &chain.members {
-            raid_math::xor::xor_into(&mut acc, stripe.element(*m));
-        }
-        if !raid_math::xor::is_zero(&acc) {
-            violated.insert(idx);
-        }
-    }
+    let violated = violated_chains(stripe, layout);
     if violated.is_empty() {
         return ScrubReport::Clean;
     }
@@ -69,21 +64,43 @@ pub fn scrub(stripe: &mut Stripe, layout: &Layout) -> ScrubReport {
         }
     }
 
+    let unlocalizable = |violated: BTreeSet<usize>| ScrubReport::Unlocalizable {
+        violated: violated.into_iter().map(|i| layout.chains()[i].parity).collect(),
+    };
+
     match candidates.as_slice() {
         [cell] => {
             let cell = *cell;
+            let snapshot = stripe.element(cell).to_vec();
             let plan = decoder::plan_decode(layout, &[cell])
                 .expect("single erasure always decodable in RAID-6");
             decoder::apply_plan(stripe, &plan);
-            ScrubReport::Repaired { cell }
+            // Verify the repair actually restored consistency; damage
+            // spanning several elements can forge a single-cell signature.
+            if violated_chains(stripe, layout).is_empty() {
+                ScrubReport::Repaired { cell }
+            } else {
+                stripe.set_element(cell, &snapshot);
+                unlocalizable(violated)
+            }
         }
-        _ => ScrubReport::Unlocalizable {
-            violated: violated
-                .into_iter()
-                .map(|i| layout.chains()[i].parity)
-                .collect(),
-        },
+        _ => unlocalizable(violated),
     }
+}
+
+/// Indices of the layout's chains whose parity equation does not hold.
+fn violated_chains(stripe: &Stripe, layout: &Layout) -> BTreeSet<usize> {
+    let mut violated = BTreeSet::new();
+    for (idx, chain) in layout.chains().iter().enumerate() {
+        let mut acc = stripe.element(chain.parity).to_vec();
+        for m in &chain.members {
+            raid_math::xor::xor_into(&mut acc, stripe.element(*m));
+        }
+        if !raid_math::xor::is_zero(&acc) {
+            violated.insert(idx);
+        }
+    }
+    violated
 }
 
 #[cfg(test)]

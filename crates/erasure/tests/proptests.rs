@@ -112,6 +112,101 @@ proptest! {
     }
 
     #[test]
+    fn scrub_never_misrepairs_multi_element_corruption(
+        p in small_primes(),
+        seed in any::<u64>(),
+        picks in (any::<usize>(), any::<usize>()),
+        masks in (1u8..=255, 1u8..=255),
+    ) {
+        // Corrupt two elements whose parity-chain sets are disjoint: no
+        // single cell can explain the combined violation signature, so the
+        // scrubber must refuse rather than overwrite an innocent element.
+        let layout = xcode_layout(p);
+        let mut s = Stripe::for_layout(&layout, 16);
+        s.fill_data_seeded(&layout, seed);
+        s.encode(&layout);
+        let pristine = s.clone();
+
+        let n = layout.num_cells();
+        let a = Cell::from_index(picks.0 % n, layout.cols());
+        let eqs_a: std::collections::BTreeSet<usize> =
+            layout.equations_of(a).into_iter().map(|id| id.0).collect();
+        let mut b = a;
+        for off in 0..n {
+            let cand = Cell::from_index((picks.1 + off) % n, layout.cols());
+            let eqs: std::collections::BTreeSet<usize> =
+                layout.equations_of(cand).into_iter().map(|id| id.0).collect();
+            if cand != a && !eqs.is_empty() && eqs.is_disjoint(&eqs_a) {
+                b = cand;
+                break;
+            }
+        }
+        prop_assert_ne!(a, b, "no chain-disjoint partner found for {}", a);
+
+        // Distinct byte offsets: equal deltas at the same offset on two
+        // parities can forge a self-consistent single-data-cell explanation
+        // (undetectable by construction); offset-disjoint deltas cannot.
+        s.element_mut(a)[0] ^= masks.0;
+        s.element_mut(b)[1] ^= masks.1;
+        let corrupted = s.clone();
+        match scrub(&mut s, &layout) {
+            ScrubReport::Unlocalizable { violated } => {
+                prop_assert!(!violated.is_empty());
+                // Refusal must leave the stripe exactly as found — a
+                // rolled-back candidate repair may not linger.
+                prop_assert_eq!(&s, &corrupted);
+            }
+            other => prop_assert!(false, "expected unlocalizable, got {other:?}"),
+        }
+        prop_assert_ne!(&s, &pristine);
+    }
+
+    #[test]
+    fn parity_only_corruption_never_touches_data(
+        p in small_primes(),
+        seed in any::<u64>(),
+        pick in any::<usize>(),
+        mask in 1u8..=255,
+        double in any::<bool>(),
+    ) {
+        // Corrupting only parity elements must never cause the scrubber to
+        // rewrite a data element: one bad parity is recomputed in place,
+        // and two bad parities (whose union signature can forge a data
+        // cell's) must be refused by the verify-after-repair check.
+        let layout = xcode_layout(p);
+        let mut s = Stripe::for_layout(&layout, 16);
+        s.fill_data_seeded(&layout, seed);
+        s.encode(&layout);
+        let pristine = s.clone();
+
+        let parities: Vec<Cell> = layout.chains().iter().map(|c| c.parity).collect();
+        let first = parities[pick % parities.len()];
+        s.element_mut(first)[1] ^= mask;
+        if double {
+            // Different byte offset: equal deltas on two parities sharing a
+            // data cell are indistinguishable from that data cell being
+            // corrupted (the forged repair would be self-consistent), which
+            // is beyond any scrubber — not the property under test.
+            let second = parities[(pick + 1) % parities.len()];
+            s.element_mut(second)[2] ^= mask;
+        }
+
+        let report = scrub(&mut s, &layout);
+        for cell in layout.data_cells() {
+            prop_assert_eq!(s.element(*cell), pristine.element(*cell),
+                "data element {} modified by parity-only scrub", cell);
+        }
+        if double {
+            prop_assert!(
+                matches!(report, ScrubReport::Unlocalizable { .. }),
+                "two corrupt parities must be unlocalizable, got {report:?}");
+        } else {
+            prop_assert_eq!(report, ScrubReport::Repaired { cell: first });
+            prop_assert_eq!(&s, &pristine);
+        }
+    }
+
+    #[test]
     fn decodability_matches_independent_rank_check(
         p in prop::sample::select(vec![5usize, 7]),
         picks in prop::collection::vec((0usize..64, 0usize..64), 1..12),

@@ -29,6 +29,8 @@ pub mod addr;
 pub mod audit;
 pub mod backend;
 pub mod batch;
+pub mod chaos;
+pub mod health;
 pub mod mttr;
 pub mod pipeline;
 pub mod reliability;
@@ -36,8 +38,13 @@ pub mod replay;
 pub mod volume;
 
 pub use addr::Addressing;
-pub use backend::{DiskBackend, FaultPoint, FaultyBackend, FileBackend, MemBackend, VolumeMeta};
+pub use backend::{
+    DiskBackend, Fault, FaultPoint, FaultyBackend, FileBackend, JournalEntry, JournalRecovery,
+    MemBackend, RebuildCheckpoint, VolumeMeta,
+};
 pub use batch::{encode_batch, rebuild_batch};
+pub use chaos::{ChaosConfig, ChaosReport};
+pub use health::{HealthMonitor, HealthState, RecoveryAction, RetryPolicy};
 pub use pipeline::{DiskAddr, IoPipeline, LoweredOp};
 pub use replay::{replay_read_patterns, replay_write_trace, ReadReplay, WriteReplay};
 pub use volume::{RaidVolume, VolumeError};

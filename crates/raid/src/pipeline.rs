@@ -13,7 +13,7 @@ use disk_sim::{DiskArray, DiskError};
 use raid_core::io::{IoLedger, RequestSet};
 use raid_core::{Cell, Stripe, XorPlan};
 
-use crate::backend::DiskBackend;
+use crate::backend::{DiskBackend, JournalEntry};
 
 /// A flat element address on the backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +96,11 @@ impl IoPipeline {
         &self.ledger
     }
 
+    /// Mutable ledger access (health/retry accounting notes).
+    pub fn ledger_mut(&mut self) -> &mut IoLedger {
+        &mut self.ledger
+    }
+
     /// Zeroes the ledger (between experiments).
     pub fn reset_ledger(&mut self) {
         self.ledger = IoLedger::new(self.backend.disks());
@@ -140,7 +145,9 @@ impl IoPipeline {
     /// The write phase is atomic with respect to surviving disks: if a
     /// write fails mid-op, already-stored elements are restored from their
     /// pre-images before the error is returned, so the caller can re-plan
-    /// (e.g. degraded) against a consistent array.
+    /// (e.g. degraded) against a consistent array. The pre-images are
+    /// journaled through the backend before the first write, so even a
+    /// crash mid-phase is rolled back when the volume is reopened.
     ///
     /// # Errors
     ///
@@ -173,35 +180,61 @@ impl IoPipeline {
             plan.execute(scratch);
         }
 
-        // Write phase with an undo log: pre-images are captured through
-        // unaccounted internal reads so a mid-op disk failure can be rolled
-        // back instead of leaving the array half-updated.
-        let mut undo: Vec<(DiskAddr, Vec<u8>)> = Vec::new();
+        // Write phase, crash-consistently: first gather every target's
+        // pre-image (unaccounted internal reads), journal them durably,
+        // then apply the writes. A mid-phase disk death is rolled back in
+        // place from the pre-images; a crash leaves the journal behind for
+        // reopen-time rollback, so the multi-element update is atomic even
+        // across process death.
         let es = self.backend.element_size();
-        let store = |backend: &mut dyn DiskBackend,
-                         cell: Cell,
-                         addr: DiskAddr,
-                         scratch: &Stripe,
-                         undo: &mut Vec<(DiskAddr, Vec<u8>)>|
-         -> Result<(), DiskError> {
+        let targets: Vec<(Cell, DiskAddr)> =
+            op.data_writes.iter().chain(&op.parity_writes).copied().collect();
+        let mut entries: Vec<JournalEntry> = Vec::with_capacity(targets.len());
+        for &(_, addr) in &targets {
             let mut pre = vec![0u8; es];
-            backend.read(addr.disk, addr.index, &mut pre)?;
-            backend.write(addr.disk, addr.index, scratch.element(cell))?;
-            undo.push((addr, pre));
-            Ok(())
-        };
-        let mut failed: Option<DiskError> = None;
-        for &(cell, addr) in op.data_writes.iter().chain(&op.parity_writes) {
-            if let Err(e) = store(self.backend.as_mut(), cell, addr, scratch, &mut undo) {
-                failed = Some(e);
+            match self.backend.read(addr.disk, addr.index, &mut pre) {
+                Ok(()) => {}
+                // An unreadable sector we are about to overwrite: the
+                // write remaps it, and zeros are as good an undo image as
+                // any for a sector that had no readable contents.
+                Err(DiskError::LatentSector { .. }) => pre.fill(0),
+                Err(e) => return Err(e),
+            }
+            entries.push(JournalEntry { disk: addr.disk, index: addr.index, data: pre });
+        }
+        if !targets.is_empty() {
+            self.backend.journal_begin(&entries)?;
+        }
+        let mut failed: Option<(usize, DiskError)> = None;
+        for (i, &(cell, addr)) in targets.iter().enumerate() {
+            if let Err(e) = self.backend.write(addr.disk, addr.index, scratch.element(cell)) {
+                failed = Some((i, e));
                 break;
             }
         }
-        if let Some(e) = failed {
-            for (addr, pre) in undo.into_iter().rev() {
-                let _ = self.backend.write(addr.disk, addr.index, &pre);
+        if let Some((written, e)) = failed {
+            // Roll the completed writes back in place. A rollback write to
+            // the disk that just died is fine to skip (its content is
+            // invalid until rebuilt); any other rollback failure — above
+            // all a crash — means the in-place undo is incomplete, so the
+            // journal must survive for reopen-time recovery.
+            let mut undo_ok = true;
+            for entry in entries[..written].iter().rev() {
+                match self.backend.write(entry.disk, entry.index, &entry.data) {
+                    Ok(()) | Err(DiskError::DiskFailed { .. }) => {}
+                    Err(_) => undo_ok = false,
+                }
+            }
+            if undo_ok && !targets.is_empty() {
+                let _ = self.backend.journal_commit();
             }
             return Err(e);
+        }
+        if !targets.is_empty() {
+            // If the commit itself fails (crash between the last write and
+            // here), the journal survives and reopen rolls the whole op
+            // back — consistent with reporting the op as failed.
+            self.backend.journal_commit()?;
         }
         for &(_, addr) in &op.data_writes {
             rs.add_data_write(addr.disk);
@@ -279,8 +312,9 @@ mod tests {
     #[test]
     fn failed_write_rolls_back_previous_writes() {
         // Fault fires on the 4th backend op. The op below performs:
-        // read (1) + [pre-image read (2), write (3)] for disk 0 +
-        // [pre-image read (4) → FAULT on disk 1].
+        // read (1, after the setup write) + pre-image read on disk 0 (3) +
+        // pre-image read on disk 1 (4 → FAULT): the write phase aborts
+        // while gathering pre-images, before anything is stored.
         let inner = MemBackend::new(2, 1, 4);
         let mut faulty = FaultyBackend::new(
             Box::new(inner),

@@ -24,9 +24,15 @@ use raid_core::plan::write::{plan_partial_write, write_cost, WriteMode};
 use raid_core::{ArrayCode, Cell, ChainId, Stripe, XorPlan};
 
 use crate::addr::Addressing;
-use crate::backend::{DiskBackend, MemBackend};
+use crate::backend::{DiskBackend, FaultyBackend, MemBackend, RebuildCheckpoint};
 use crate::batch;
+use crate::health::{HealthMonitor, HealthState, RecoveryAction};
 use crate::pipeline::{DiskAddr, IoPipeline, LoweredOp};
+
+/// Hard cap on recovery attempts per operation — a backstop against a
+/// fault source that never clears (the health policy normally escalates
+/// long before this).
+const MAX_OP_ATTEMPTS: usize = 64;
 
 /// Lowers `(lost cell, repair chain)` choices — the shape shared by the
 /// degraded-read and single-disk recovery planners — into a compiled
@@ -141,6 +147,25 @@ pub struct RaidVolume {
     stripes: usize,
     pipeline: IoPipeline,
     failed: BTreeSet<usize>,
+    health: HealthMonitor,
+    /// Hot spares available to the background healer.
+    spares: usize,
+    /// Start a background rebuild automatically when a disk dies and a
+    /// spare is available.
+    auto_heal: bool,
+    /// The in-flight (checkpointed) background rebuild, if any.
+    rebuild_task: Option<RebuildTask>,
+}
+
+/// In-memory mirror of the persisted [`RebuildCheckpoint`].
+#[derive(Debug, Clone)]
+struct RebuildTask {
+    /// Disks being rebuilt onto spares (they stay in `failed` — their
+    /// content is invalid — even though the backend already serves the
+    /// blank replacements).
+    disks: Vec<usize>,
+    /// First stripe not yet rebuilt.
+    next_stripe: usize,
 }
 
 impl fmt::Debug for RaidVolume {
@@ -151,6 +176,8 @@ impl fmt::Debug for RaidVolume {
             .field("stripes", &self.stripes)
             .field("element_size", &self.element_size)
             .field("failed", &self.failed)
+            .field("health", &self.health.state())
+            .field("rebuild_task", &self.rebuild_task)
             .finish()
     }
 }
@@ -264,14 +291,51 @@ impl RaidVolume {
         if failed.len() > 2 {
             return Err(VolumeError::TooManyFailures { failed: failed.len() });
         }
-        Ok(RaidVolume {
+        let mut volume = RaidVolume {
             code,
             addressing,
             element_size,
             stripes,
             pipeline: IoPipeline::new(backend),
             failed,
-        })
+            health: HealthMonitor::default(),
+            spares: 0,
+            auto_heal: true,
+            rebuild_task: None,
+        };
+        volume.resume_rebuild_checkpoint()?;
+        volume.note_health();
+        Ok(volume)
+    }
+
+    /// Adopts a persisted rebuild checkpoint: the previous process died
+    /// mid-rebuild, and the checkpointed disks hold invalid data up from
+    /// `next_stripe`. Resuming means continuing from there — *not*
+    /// re-zeroing the spares (that would destroy the stripes already
+    /// rebuilt) and *not* restarting at stripe 0. The one exception: a
+    /// disk the checkpoint names that the backend still reports failed
+    /// (crash fell between checkpoint-write and spare-swap, which implies
+    /// `next_stripe == 0`) gets its blank spare now.
+    fn resume_rebuild_checkpoint(&mut self) -> Result<(), VolumeError> {
+        let Some(cp) = self.pipeline.backend().load_checkpoint() else { return Ok(()) };
+        if cp.disks.iter().any(|&d| d >= self.disks()) || cp.next_stripe > self.stripes {
+            // A checkpoint for a different geometry: drop it rather than
+            // scribble on the wrong disks.
+            self.pipeline.backend_mut().save_checkpoint(None)?;
+            return Ok(());
+        }
+        for &d in &cp.disks {
+            if self.pipeline.backend().is_failed(d) {
+                self.pipeline.backend_mut().replace(d)?;
+            }
+            self.failed.insert(d);
+        }
+        if self.failed.len() > 2 {
+            return Err(VolumeError::TooManyFailures { failed: self.failed.len() });
+        }
+        self.rebuild_task =
+            Some(RebuildTask { disks: cp.disks, next_stripe: cp.next_stripe });
+        Ok(())
     }
 
     /// Opens an existing backend as a volume, deriving the stripe count
@@ -404,27 +468,251 @@ impl RaidVolume {
         if let Some(sim) = self.pipeline.sim_mut() {
             let _ = sim.fail_disk(disk);
         }
+        self.after_failure();
         Ok(())
     }
 
+    /// The volume's health monitor (state machine, retry/repair stats).
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Current health state (`Healthy → Degraded → Critical → Failed`).
+    pub fn health_state(&self) -> HealthState {
+        self.health.state()
+    }
+
+    /// Stocks the hot-spare pool. Spares are consumed (one per dead disk)
+    /// when a background rebuild starts.
+    pub fn set_spares(&mut self, spares: usize) {
+        self.spares = spares;
+    }
+
+    /// Spares currently in the pool.
+    pub fn spares(&self) -> usize {
+        self.spares
+    }
+
+    /// Enables/disables automatic background-rebuild kickoff on disk
+    /// death (on by default; inert while the spare pool is empty).
+    pub fn set_auto_heal(&mut self, on: bool) {
+        self.auto_heal = on;
+    }
+
+    /// The in-flight background rebuild, as its persisted checkpoint
+    /// form, if one is active.
+    pub fn rebuild_progress(&self) -> Option<RebuildCheckpoint> {
+        self.rebuild_task
+            .as_ref()
+            .map(|t| RebuildCheckpoint { disks: t.disks.clone(), next_stripe: t.next_stripe })
+    }
+
+    /// The fault injector wrapping the backend, if the volume runs over a
+    /// [`FaultyBackend`] (chaos/test hook).
+    pub fn backend_faulty_mut(&mut self) -> Option<&mut FaultyBackend> {
+        self.pipeline.backend_mut().as_faulty_mut()
+    }
+
+    /// Re-derives the health state from the failed-disk count, recording
+    /// the transition in the monitor and the cumulative ledger.
+    fn note_health(&mut self) {
+        if let Some((from, to)) = self.health.observe_failed_count(self.failed.len()) {
+            self.pipeline.ledger_mut().note_transition(format!("{from}->{to}"));
+        }
+    }
+
+    /// Post-failure bookkeeping: health transition, then — when auto-heal
+    /// is on and spares are stocked — kick off the background rebuild.
+    fn after_failure(&mut self) {
+        self.note_health();
+        if self.auto_heal && self.rebuild_task.is_none() && self.spares > 0 {
+            // Best effort: a failure here (e.g. mid-crash) leaves the
+            // array degraded-but-consistent, and the next maintain() call
+            // retries the kickoff.
+            let _ = self.start_spare_rebuild();
+        }
+    }
+
+    /// One recovery step for a backend error, per the health policy:
+    /// transients are retried (the caller loops), latent sectors repaired
+    /// in place, dead disks adopted into the failed set, everything else
+    /// propagated.
+    fn recover(&mut self, e: DiskError) -> Result<(), VolumeError> {
+        match self.health.on_error(&e) {
+            RecoveryAction::Retry { .. } => {
+                self.pipeline.ledger_mut().note_retry();
+                Ok(())
+            }
+            RecoveryAction::RepairLatent { disk, index } => self.repair_latent(disk, index),
+            RecoveryAction::FailDisk { disk } => self.adopt_failure(disk, e),
+            RecoveryAction::Fatal => Err(VolumeError::Backend(e)),
+        }
+    }
+
     /// Records a failure the backend reported on its own (e.g. a
-    /// [`crate::backend::FaultyBackend`] fault) so the operation can be
-    /// replanned degraded. Errors if the failure is not survivable.
-    fn note_backend_failure(&mut self, e: DiskError) -> Result<(), VolumeError> {
-        if let DiskError::DiskFailed { disk } = e {
-            if disk < self.disks() && !self.failed.contains(&disk) {
-                if self.failed.len() >= 2 {
-                    return Err(VolumeError::TooManyFailures { failed: self.failed.len() + 1 });
-                }
-                self.failed.insert(disk);
-                let _ = self.pipeline.backend_mut().fail(disk);
+    /// [`FaultyBackend`] fault) so the operation can be replanned
+    /// degraded. Errors if the failure is not survivable.
+    fn adopt_failure(&mut self, disk: usize, source: DiskError) -> Result<(), VolumeError> {
+        if disk >= self.disks() {
+            return Err(VolumeError::Backend(source));
+        }
+        if self.failed.contains(&disk) {
+            // A spare died while being rebuilt: swap in a fresh one and
+            // restart its rebuild from stripe 0 (the replacement is
+            // blank).
+            let rebuilding =
+                self.rebuild_task.as_ref().is_some_and(|t| t.disks.contains(&disk));
+            if rebuilding && self.pipeline.backend().is_failed(disk) {
+                self.pipeline.backend_mut().replace(disk)?;
                 if let Some(sim) = self.pipeline.sim_mut() {
-                    let _ = sim.fail_disk(disk);
+                    let _ = sim.restore_disk(disk);
                 }
+                let task = self.rebuild_task.as_mut().expect("rebuilding implies a task");
+                task.next_stripe = 0;
+                let cp =
+                    RebuildCheckpoint { disks: task.disks.clone(), next_stripe: 0 };
+                self.pipeline.backend_mut().save_checkpoint(Some(&cp))?;
                 return Ok(());
             }
+            return Err(VolumeError::Backend(source));
         }
-        Err(VolumeError::Backend(e))
+        if self.failed.len() >= 2 {
+            return Err(VolumeError::TooManyFailures { failed: self.failed.len() + 1 });
+        }
+        self.failed.insert(disk);
+        let _ = self.pipeline.backend_mut().fail(disk);
+        if let Some(sim) = self.pipeline.sim_mut() {
+            let _ = sim.fail_disk(disk);
+        }
+        self.after_failure();
+        Ok(())
+    }
+
+    /// Reconstructs the one element a latent-sector error named from its
+    /// parity chains and rewrites it in place — the write remaps the bad
+    /// sector. Runs through the pipeline, so the repair I/O is accounted.
+    /// Additional bad sectors discovered while reading the reconstruction
+    /// sources are folded into the same decode.
+    fn repair_latent(&mut self, disk: usize, index: usize) -> Result<(), VolumeError> {
+        self.pipeline.ledger_mut().note_latent_repair();
+        let mut sectors = vec![(disk, index)];
+        for _ in 0..MAX_OP_ATTEMPTS {
+            match self.try_repair_latent(&sectors) {
+                Err(VolumeError::Backend(DiskError::LatentSector { disk: d, index: i })) => {
+                    if sectors.contains(&(d, i)) {
+                        return Err(VolumeError::Backend(DiskError::LatentSector {
+                            disk: d,
+                            index: i,
+                        }));
+                    }
+                    // Another bad sector among the sources: charge it
+                    // against the policy and widen the decode.
+                    match self.health.on_error(&DiskError::LatentSector { disk: d, index: i })
+                    {
+                        RecoveryAction::FailDisk { disk } => {
+                            self.adopt_failure(disk, DiskError::LatentSector {
+                                disk: d,
+                                index: i,
+                            })?;
+                        }
+                        _ => {
+                            self.pipeline.ledger_mut().note_latent_repair();
+                            sectors.push((d, i));
+                        }
+                    }
+                }
+                // Transients/disk deaths during the repair reads go
+                // through the normal policy (latent errors are already
+                // intercepted above, so this cannot re-enter
+                // repair_latent).
+                Err(VolumeError::Backend(e)) => self.recover(e)?,
+                other => return other,
+            }
+        }
+        Err(VolumeError::Backend(DiskError::LatentSector { disk, index }))
+    }
+
+    /// One in-place reconstruction attempt for the given bad sectors
+    /// (all in one stripe): decode them — together with any whole failed
+    /// columns — from the surviving elements, write back only the bad
+    /// sectors.
+    fn try_repair_latent(&mut self, sectors: &[(usize, usize)]) -> Result<(), VolumeError> {
+        let code = Arc::clone(&self.code);
+        let layout = code.layout();
+        let rows = layout.rows();
+        let live: Vec<(usize, usize)> = sectors
+            .iter()
+            .copied()
+            .filter(|&(d, i)| {
+                d < self.disks() && i < self.stripes * rows && !self.disk_failed_at(d, i / rows)
+            })
+            .collect();
+        let Some(&(d0, i0)) = live.first() else { return Ok(()) };
+        let stripe_idx = i0 / rows;
+        let cells: Vec<Cell> = live
+            .iter()
+            .map(|&(d, i)| {
+                debug_assert_eq!(i / rows, stripe_idx, "latent repair spans one stripe");
+                Cell::new(i % rows, self.addressing.logical_col(stripe_idx, d))
+            })
+            .collect();
+        let failed_cols = self.failed_cols(stripe_idx);
+        let mut lost: Vec<Cell> =
+            failed_cols.iter().flat_map(|&c| layout.cells_in_col(c)).collect();
+        lost.extend(cells.iter().copied());
+        let Ok(decode_plan) = decoder::plan_decode(layout, &lost) else {
+            // Bad sectors + failed columns exceed the code's erasure
+            // capability: unrecoverable in place.
+            return Err(VolumeError::Backend(DiskError::LatentSector {
+                disk: d0,
+                index: i0,
+            }));
+        };
+        let mut reads = Vec::new();
+        for col in 0..layout.cols() {
+            if failed_cols.contains(&col) {
+                continue;
+            }
+            for cell in layout.cells_in_col(col) {
+                if !cells.contains(&cell) {
+                    reads.push((cell, self.addr_of(stripe_idx, cell)));
+                }
+            }
+        }
+        let mut data_writes = Vec::new();
+        let mut parity_writes = Vec::new();
+        for &cell in &cells {
+            let target = (cell, self.addr_of(stripe_idx, cell));
+            if layout.is_data(cell) {
+                data_writes.push(target);
+            } else {
+                parity_writes.push(target);
+            }
+        }
+        let op = LoweredOp {
+            reads,
+            plan: Some(XorPlan::compile_decode(layout, &decode_plan)),
+            data_writes,
+            parity_writes,
+        };
+        let mut scratch = Stripe::for_layout(layout, self.element_size);
+        self.pipeline.execute(&op, &mut scratch)?;
+        Ok(())
+    }
+
+    /// The backend address `(disk, element index)` holding linear data
+    /// element `at` — lets fault-driving code (the chaos harness, tests)
+    /// aim element-granular faults at an address an upcoming operation
+    /// will touch. `None` if `at` is out of range.
+    pub fn locate_data_element(&self, at: usize) -> Option<(usize, usize)> {
+        if at >= self.data_elements() {
+            return None;
+        }
+        let per = self.addressing.data_per_stripe();
+        let (stripe, ordinal) = (at / per, at % per);
+        let cell = self.code.layout().data_cells()[ordinal];
+        let a = self.addr_of(stripe, cell);
+        Some((a.disk, a.index))
     }
 
     /// The backend address of `cell` in stripe `stripe`.
@@ -435,9 +723,28 @@ impl RaidVolume {
         }
     }
 
-    /// The stripe's logical columns currently failed.
+    /// Whether `disk` must be treated as failed for operations touching
+    /// `stripe`. A disk under rebuild is failed only ahead of the rebuild
+    /// frontier: stripes below `next_stripe` are fully reconstructed on the
+    /// live replacement, so reads may hit them directly and writes MUST
+    /// write through — skipping them would leave the already-rebuilt region
+    /// stale and surface as silent corruption when the rebuild finishes.
+    fn disk_failed_at(&self, disk: usize, stripe: usize) -> bool {
+        self.failed.contains(&disk)
+            && !self
+                .rebuild_task
+                .as_ref()
+                .is_some_and(|t| stripe < t.next_stripe && t.disks.contains(&disk))
+    }
+
+    /// The stripe's logical columns currently failed (rebuild-frontier
+    /// aware, see [`Self::disk_failed_at`]).
     fn failed_cols(&self, stripe: usize) -> Vec<usize> {
-        self.failed.iter().map(|&d| self.addressing.logical_col(stripe, d)).collect()
+        self.failed
+            .iter()
+            .filter(|&&d| self.disk_failed_at(d, stripe))
+            .map(|&d| self.addressing.logical_col(stripe, d))
+            .collect()
     }
 
     /// Writes `len` data elements starting at linear element `start`.
@@ -467,15 +774,24 @@ impl RaidVolume {
         }
         self.check_range(start, len)?;
         self.pipeline.begin_op();
+        let mut attempts = 0usize;
         loop {
+            attempts += 1;
             let attempt = if self.failed.is_empty() {
                 self.try_write_healthy(start, len, data)
             } else {
                 self.try_write_degraded(start, len, data)
             };
             match attempt {
-                Err(VolumeError::Backend(e)) => self.note_backend_failure(e)?,
-                other => return other,
+                Err(VolumeError::Backend(e)) if attempts < MAX_OP_ATTEMPTS => {
+                    self.recover(e)?;
+                }
+                other => {
+                    if other.is_ok() {
+                        self.health.note_op_ok();
+                    }
+                    return other;
+                }
             }
         }
     }
@@ -657,10 +973,19 @@ impl RaidVolume {
     pub fn read(&mut self, start: usize, len: usize) -> Result<(Vec<u8>, IoLedger), VolumeError> {
         self.check_range(start, len)?;
         self.pipeline.begin_op();
+        let mut attempts = 0usize;
         loop {
+            attempts += 1;
             match self.try_read(start, len) {
-                Err(VolumeError::Backend(e)) => self.note_backend_failure(e)?,
-                other => return other,
+                Err(VolumeError::Backend(e)) if attempts < MAX_OP_ATTEMPTS => {
+                    self.recover(e)?;
+                }
+                other => {
+                    if other.is_ok() {
+                        self.health.note_op_ok();
+                    }
+                    return other;
+                }
             }
         }
     }
@@ -729,103 +1054,206 @@ impl RaidVolume {
 
     /// Rebuilds every failed disk onto a blank spare (single-disk hybrid
     /// recovery or generic double-disk decode) and marks the array
-    /// healthy.
+    /// healthy. An in-flight background rebuild is driven to completion
+    /// first; progress is checkpointed per stripe, so a crash mid-rebuild
+    /// resumes where it stopped on reopen.
     ///
     /// # Errors
     ///
     /// Returns [`VolumeError::TooManyFailures`] if more than two disks are
     /// failed (cannot happen through this API).
     pub fn rebuild(&mut self) -> Result<IoLedger, VolumeError> {
-        self.pipeline.begin_op();
+        let mut receipt = IoLedger::new(self.disks());
         loop {
-            match self.try_rebuild() {
-                Err(VolumeError::Backend(e)) => self.note_backend_failure(e)?,
-                other => return other,
+            if self.rebuild_task.is_none() {
+                let failed: Vec<usize> = self.failed.iter().copied().collect();
+                if failed.is_empty() {
+                    return Ok(receipt);
+                }
+                if failed.len() > 2 {
+                    return Err(VolumeError::TooManyFailures { failed: failed.len() });
+                }
+                self.start_rebuild(failed)?;
             }
+            let rs = self.rebuild_step(usize::MAX)?;
+            receipt.merge(&rs);
         }
     }
 
-    fn try_rebuild(&mut self) -> Result<IoLedger, VolumeError> {
-        let failed: Vec<usize> = self.failed.iter().copied().collect();
-        let mut receipt = IoLedger::new(self.disks());
-        if failed.is_empty() {
-            return Ok(receipt);
+    /// Drives the background healer: starts a spare-consuming rebuild if
+    /// one is warranted and none is active, then rebuilds up to `budget`
+    /// stripes. Call repeatedly (e.g. between foreground operations) to
+    /// amortize rebuild I/O. Returns the step's I/O ledger — empty when
+    /// there is nothing to do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolumeError`] on backend errors or unsurvivable failures.
+    pub fn maintain(&mut self, budget: usize) -> Result<IoLedger, VolumeError> {
+        if self.rebuild_task.is_none() {
+            if self.auto_heal && !self.failed.is_empty() && self.spares > 0 {
+                self.start_spare_rebuild()?;
+            }
+            if self.rebuild_task.is_none() {
+                return Ok(IoLedger::new(self.disks()));
+            }
         }
-        self.swap_in_spares(&failed)?;
+        self.rebuild_step(budget)
+    }
+
+    /// Starts a background rebuild for as many failed disks as the spare
+    /// pool covers, consuming the spares. No-op if the pool is empty or
+    /// nothing is failed.
+    fn start_spare_rebuild(&mut self) -> Result<(), VolumeError> {
+        let failed: Vec<usize> = self.failed.iter().copied().collect();
+        let take = self.spares.min(failed.len());
+        if take == 0 || self.rebuild_task.is_some() {
+            return Ok(());
+        }
+        let chosen = failed[..take].to_vec();
+        self.spares -= take;
+        if let Err(e) = self.start_rebuild(chosen) {
+            self.spares += take;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Registers a rebuild task for `disks`: the checkpoint is persisted
+    /// *before* the blank spares are swapped in, so a crash between the
+    /// two steps is detected on reopen (the checkpointed disk is still
+    /// backend-failed) and the swap replayed rather than the half-zeroed
+    /// spare trusted.
+    fn start_rebuild(&mut self, disks: Vec<usize>) -> Result<(), VolumeError> {
+        let cp = RebuildCheckpoint { disks: disks.clone(), next_stripe: 0 };
+        self.pipeline.backend_mut().save_checkpoint(Some(&cp))?;
+        self.swap_in_spares(&disks)?;
+        for &d in &disks {
+            self.health.note_replaced(d);
+        }
+        self.rebuild_task = Some(RebuildTask { disks, next_stripe: 0 });
+        Ok(())
+    }
+
+    /// Rebuilds up to `budget` stripes of the active task, persisting the
+    /// checkpoint after each stripe and finishing the task (failed set,
+    /// checkpoint, health) when the last stripe lands. Errors during a
+    /// stripe go through the recovery policy — a fault can reset or
+    /// extend the task mid-step, which is why the task state is re-read
+    /// every iteration.
+    pub fn rebuild_step(&mut self, budget: usize) -> Result<IoLedger, VolumeError> {
+        self.pipeline.begin_op();
+        let mut receipt = IoLedger::new(self.disks());
+        let mut done = 0usize;
+        let mut attempts = 0usize;
+        while done < budget {
+            let Some(task) = self.rebuild_task.as_ref() else { break };
+            if task.next_stripe >= self.stripes {
+                self.finish_rebuild()?;
+                break;
+            }
+            let idx = task.next_stripe;
+            let disks = task.disks.clone();
+            attempts += 1;
+            match self.rebuild_one_stripe(idx, &disks) {
+                Ok(rs) => {
+                    receipt.merge(&rs);
+                    self.health.note_op_ok();
+                    attempts = 0;
+                    done += 1;
+                    let task = self.rebuild_task.as_mut().expect("task active");
+                    task.next_stripe = idx + 1;
+                    let cp = RebuildCheckpoint {
+                        disks: task.disks.clone(),
+                        next_stripe: idx + 1,
+                    };
+                    self.pipeline.backend_mut().save_checkpoint(Some(&cp))?;
+                    if idx + 1 >= self.stripes {
+                        self.finish_rebuild()?;
+                        break;
+                    }
+                }
+                Err(VolumeError::Backend(e)) => {
+                    if attempts >= MAX_OP_ATTEMPTS {
+                        return Err(VolumeError::Backend(e));
+                    }
+                    self.recover(e)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(receipt)
+    }
+
+    /// The active task's disks hold valid data now: drop them from the
+    /// failed set, clear the persisted checkpoint, update health.
+    fn finish_rebuild(&mut self) -> Result<(), VolumeError> {
+        let Some(task) = self.rebuild_task.take() else { return Ok(()) };
+        for d in &task.disks {
+            self.failed.remove(d);
+        }
+        self.pipeline.backend_mut().save_checkpoint(None)?;
+        self.note_health();
+        Ok(())
+    }
+
+    /// Rebuilds one stripe's worth of the task disks: decode over *all*
+    /// failed columns (a second dead disk that is not being rebuilt still
+    /// shapes the decode), write back only the task disks' columns. A
+    /// single failed column uses the paper's hybrid minimum-read recovery
+    /// plan; two use the generic decoder.
+    fn rebuild_one_stripe(
+        &mut self,
+        idx: usize,
+        task_disks: &[usize],
+    ) -> Result<IoLedger, VolumeError> {
         let code = Arc::clone(&self.code);
         let layout = code.layout();
-        match failed.len() {
-            1 => {
-                for idx in 0..self.stripes {
-                    let col = self.addressing.logical_col(idx, failed[0]);
-                    let plan = plan_single_disk_recovery(layout, col, SearchStrategy::Auto);
-                    let mut data_writes = Vec::new();
-                    let mut parity_writes = Vec::new();
-                    for &(cell, _) in &plan.choices {
-                        let target = (cell, self.addr_of(idx, cell));
-                        if layout.is_data(cell) {
-                            data_writes.push(target);
-                        } else {
-                            parity_writes.push(target);
-                        }
-                    }
-                    let op = LoweredOp {
-                        reads: plan
-                            .reads
-                            .iter()
-                            .map(|&c| (c, self.addr_of(idx, c)))
-                            .collect(),
-                        plan: Some(compile_chain_repairs(layout, &plan.choices)),
-                        data_writes,
-                        parity_writes,
-                    };
-                    let mut scratch = Stripe::for_layout(layout, self.element_size);
-                    let rs = self.pipeline.execute(&op, &mut scratch)?;
-                    receipt.absorb(&rs);
+        let write_cols: BTreeSet<usize> = task_disks
+            .iter()
+            .map(|&d| self.addressing.logical_col(idx, d))
+            .collect();
+        let failed_cols = self.failed_cols(idx);
+        let mut receipt = IoLedger::new(self.disks());
+
+        let (reads, plan) = if failed_cols.len() == 1 {
+            let plan = plan_single_disk_recovery(layout, failed_cols[0], SearchStrategy::Auto);
+            let reads: Vec<(Cell, DiskAddr)> =
+                plan.reads.iter().map(|&c| (c, self.addr_of(idx, c))).collect();
+            (reads, compile_chain_repairs(layout, &plan.choices))
+        } else {
+            let lost: Vec<Cell> =
+                failed_cols.iter().flat_map(|&c| layout.cells_in_col(c)).collect();
+            let decode_plan = decoder::plan_decode(layout, &lost)
+                .map_err(|_| VolumeError::TooManyFailures { failed: failed_cols.len() })?;
+            let mut reads = Vec::new();
+            for col in 0..layout.cols() {
+                if failed_cols.contains(&col) {
+                    continue;
+                }
+                for cell in layout.cells_in_col(col) {
+                    reads.push((cell, self.addr_of(idx, cell)));
                 }
             }
-            2 => {
-                for idx in 0..self.stripes {
-                    let lost_cols: Vec<usize> =
-                        failed.iter().map(|&d| self.addressing.logical_col(idx, d)).collect();
-                    let lost: Vec<Cell> =
-                        lost_cols.iter().flat_map(|&c| layout.cells_in_col(c)).collect();
-                    // Double recovery fetches every surviving element.
-                    let mut reads = Vec::new();
-                    for col in 0..layout.cols() {
-                        if lost_cols.contains(&col) {
-                            continue;
-                        }
-                        for cell in layout.cells_in_col(col) {
-                            reads.push((cell, self.addr_of(idx, cell)));
-                        }
-                    }
-                    let decode_plan = decoder::plan_decode(layout, &lost)
-                        .expect("RAID-6 code repairs any two columns");
-                    let mut data_writes = Vec::new();
-                    let mut parity_writes = Vec::new();
-                    for &cell in &lost {
-                        let target = (cell, self.addr_of(idx, cell));
-                        if layout.is_data(cell) {
-                            data_writes.push(target);
-                        } else {
-                            parity_writes.push(target);
-                        }
-                    }
-                    let op = LoweredOp {
-                        reads,
-                        plan: Some(XorPlan::compile_decode(layout, &decode_plan)),
-                        data_writes,
-                        parity_writes,
-                    };
-                    let mut scratch = Stripe::for_layout(layout, self.element_size);
-                    let rs = self.pipeline.execute(&op, &mut scratch)?;
-                    receipt.absorb(&rs);
+            (reads, XorPlan::compile_decode(layout, &decode_plan))
+        };
+
+        let mut data_writes = Vec::new();
+        let mut parity_writes = Vec::new();
+        for &col in &write_cols {
+            for cell in layout.cells_in_col(col) {
+                let target = (cell, self.addr_of(idx, cell));
+                if layout.is_data(cell) {
+                    data_writes.push(target);
+                } else {
+                    parity_writes.push(target);
                 }
             }
-            n => return Err(VolumeError::TooManyFailures { failed: n }),
         }
-        self.failed.clear();
+        let op = LoweredOp { reads, plan: Some(plan), data_writes, parity_writes };
+        let mut scratch = Stripe::for_layout(layout, self.element_size);
+        let rs = self.pipeline.execute(&op, &mut scratch)?;
+        receipt.absorb(&rs);
         Ok(receipt)
     }
 
@@ -978,6 +1406,11 @@ impl RaidVolume {
             receipt.absorb(&rs);
         }
         self.failed.clear();
+        // The batch rebuild covered everything, superseding any
+        // checkpointed background task.
+        self.rebuild_task = None;
+        self.pipeline.backend_mut().save_checkpoint(None)?;
+        self.note_health();
         Ok(receipt)
     }
 
@@ -1034,6 +1467,30 @@ impl RaidVolume {
             return Err(VolumeError::TooManyFailures { failed: self.failed.len() });
         }
         self.pipeline.begin_op();
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            match self.try_scrub() {
+                Err(VolumeError::Backend(e)) if attempts < MAX_OP_ATTEMPTS => {
+                    self.recover(e)?;
+                    // Recovery may have degraded the array; scrubbing a
+                    // degraded volume cannot tell corruption from loss.
+                    if !self.failed.is_empty() {
+                        return Err(VolumeError::TooManyFailures { failed: self.failed.len() });
+                    }
+                }
+                other => {
+                    if other.is_ok() {
+                        self.health.note_op_ok();
+                    }
+                    return other;
+                }
+            }
+        }
+    }
+
+    /// One scrub attempt over every stripe (retried by [`RaidVolume::scrub`]).
+    fn try_scrub(&mut self) -> Result<Vec<(usize, raid_core::scrub::ScrubReport)>, VolumeError> {
         let code = Arc::clone(&self.code);
         let layout = code.layout();
         let mut findings = Vec::new();
@@ -1449,6 +1906,163 @@ mod tests {
             let (bytes, _) = v.read(0, v.data_elements()).unwrap();
             assert_eq!(bytes, data, "rotate={rotate}");
         }
+    }
+
+    #[test]
+    fn transient_errors_retry_without_degrading() {
+        use crate::backend::{Fault, FaultyBackend, MemBackend};
+        let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(7).unwrap());
+        let inner = MemBackend::new(code.layout().cols(), 4 * code.layout().rows(), 16);
+        let faulty = FaultyBackend::new(Box::new(inner), Vec::new());
+        let mut v = RaidVolume::new(code, 4, 16, Box::new(faulty)).unwrap();
+        let data = pattern(5 * 16, 23);
+        v.write(0, &data).unwrap();
+        v.backend_faulty_mut()
+            .unwrap()
+            .inject(Fault::Transient { disk: 1, ops: 2 });
+        let (bytes, _) = v.read(0, 5).unwrap();
+        assert_eq!(bytes, data, "retries must serve the read");
+        assert!(v.failed_disks().is_empty(), "transients must not degrade");
+        assert_eq!(v.ledger().retries(), 2);
+        assert_eq!(v.health().retries_total(), 2);
+        assert_eq!(v.health_state(), crate::health::HealthState::Healthy);
+    }
+
+    #[test]
+    fn latent_sector_reconstructed_and_rewritten_in_place() {
+        use crate::backend::{Fault, FaultyBackend, MemBackend};
+        let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(7).unwrap());
+        let inner = MemBackend::new(code.layout().cols(), 4 * code.layout().rows(), 16);
+        let faulty = FaultyBackend::new(Box::new(inner), Vec::new());
+        let mut v = RaidVolume::new(code, 4, 16, Box::new(faulty)).unwrap();
+        let data = pattern(v.data_elements() * 16, 29);
+        v.write(0, &data).unwrap();
+        let (disk, index) = v.locate_data_element(3).unwrap();
+        v.backend_faulty_mut()
+            .unwrap()
+            .inject(Fault::LatentSector { disk, index });
+        // The read hits the bad sector; the policy reconstructs the
+        // element from its chains and rewrites it, healing the sector.
+        let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(bytes, data);
+        assert!(v.failed_disks().is_empty());
+        assert_eq!(v.ledger().latent_repairs(), 1);
+        assert_eq!(v.health().latent_repairs_total(), 1);
+        // The rewrite remapped the sector: reading again is clean.
+        v.reset_ledger();
+        let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(bytes, data);
+        assert_eq!(v.ledger().latent_repairs(), 0);
+        assert!(v.verify_all());
+    }
+
+    #[test]
+    fn too_many_latent_repairs_fail_the_disk() {
+        use crate::backend::{Fault, FaultyBackend, MemBackend};
+        let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(7).unwrap());
+        let inner = MemBackend::new(code.layout().cols(), 4 * code.layout().rows(), 16);
+        let faulty = FaultyBackend::new(Box::new(inner), Vec::new());
+        let mut v = RaidVolume::new(code, 4, 16, Box::new(faulty)).unwrap();
+        let data = pattern(v.data_elements() * 16, 31);
+        v.write(0, &data).unwrap();
+        let budget = v.health().policy().max_latent_repairs;
+        let (disk, _) = v.locate_data_element(0).unwrap();
+        // Keep growing defects on one disk: each full read heals them,
+        // until the policy declares the disk dying and fails it.
+        for round in 0..=budget {
+            for index in 0..v.code().layout().rows() {
+                v.backend_faulty_mut()
+                    .unwrap()
+                    .inject(Fault::LatentSector { disk, index });
+            }
+            let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+            assert_eq!(bytes, data, "round {round}");
+            if !v.failed_disks().is_empty() {
+                break;
+            }
+        }
+        assert_eq!(v.failed_disks(), vec![disk], "escalation must fail the disk");
+        assert_eq!(v.health_state(), crate::health::HealthState::Degraded);
+        v.rebuild().unwrap();
+        assert!(v.verify_all());
+    }
+
+    #[test]
+    fn hot_spare_auto_rebuild_in_background_steps() {
+        use crate::backend::{Fault, FaultyBackend, MemBackend};
+        let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(7).unwrap());
+        let inner = MemBackend::new(code.layout().cols(), 4 * code.layout().rows(), 16);
+        let faulty = FaultyBackend::new(Box::new(inner), Vec::new());
+        let mut v = RaidVolume::new(code, 4, 16, Box::new(faulty)).unwrap();
+        v.set_spares(1);
+        let data = pattern(v.data_elements() * 16, 37);
+        v.write(0, &data).unwrap();
+        // The disk dies silently; the next op discovers it and — with a
+        // spare stocked — kicks off the background rebuild.
+        v.backend_faulty_mut().unwrap().inject(Fault::Dead { disk: 2 });
+        let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(bytes, data);
+        assert_eq!(v.failed_disks(), vec![2]);
+        assert_eq!(v.spares(), 0, "auto-heal consumed the spare");
+        let task = v.rebuild_progress().expect("background task started");
+        assert_eq!(task.disks, vec![2]);
+        // Pump one stripe at a time; progress must advance monotonically.
+        let mut last = task.next_stripe;
+        while let Some(cp) = v.rebuild_progress() {
+            assert!(cp.next_stripe >= last);
+            last = cp.next_stripe;
+            v.maintain(1).unwrap();
+        }
+        assert!(v.failed_disks().is_empty(), "rebuild completed");
+        assert_eq!(v.health_state(), crate::health::HealthState::Healthy);
+        assert!(v.verify_all());
+        let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(bytes, data);
+        // The healing story is on the record.
+        assert!(!v.ledger().transitions().is_empty());
+    }
+
+    #[test]
+    fn crash_interrupted_rebuild_resumes_from_checkpoint() {
+        use crate::backend::{Fault, FaultyBackend, FileBackend};
+        let dir = std::env::temp_dir().join(format!("hvraid-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(7).unwrap());
+        let rows = code.layout().rows();
+        let data;
+        {
+            let be = FileBackend::create(&dir, code.layout().cols(), 4 * rows, 16).unwrap();
+            let mut v = RaidVolume::new(Arc::clone(&code), 4, 16, Box::new(be)).unwrap();
+            data = pattern(v.data_elements() * 16, 41);
+            v.write(0, &data).unwrap();
+            v.fail_disk(3).unwrap();
+        }
+        // Rebuild under a crash that fires deep enough for at least one
+        // stripe's checkpoint to have landed.
+        {
+            let be = FileBackend::open(&dir).unwrap();
+            let faulty = FaultyBackend::new(Box::new(be), Vec::new())
+                .with_faults([Fault::CrashAtOp { at_op: 120 }]);
+            let mut v = RaidVolume::open(Arc::clone(&code), Box::new(faulty), false).unwrap();
+            assert!(matches!(
+                v.rebuild(),
+                Err(VolumeError::Backend(DiskError::Crashed))
+            ));
+        }
+        // Reopen: the checkpoint resumes the task past stripe 0 — not
+        // from scratch — and the rebuild completes.
+        let be = FileBackend::open(&dir).unwrap();
+        let mut v = RaidVolume::open(Arc::clone(&code), Box::new(be), false).unwrap();
+        let cp = v.rebuild_progress().expect("checkpoint resumed a task");
+        assert_eq!(cp.disks, vec![3]);
+        assert!(cp.next_stripe > 0, "must resume mid-volume, not at stripe 0");
+        v.rebuild().unwrap();
+        assert!(v.failed_disks().is_empty());
+        assert!(v.verify_all());
+        let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(bytes, data);
+        assert!(v.rebuild_progress().is_none(), "checkpoint cleared on completion");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
