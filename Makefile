@@ -16,8 +16,17 @@ bench:
 
 # One iteration per benchmark: verifies every bench target runs end to end
 # (and that the BENCH_*.json files are emitted) in seconds, not minutes.
+# Then the optimizer regression gate: the plan optimizer must keep saving
+# at least 10% of the specification's encode XOR reads for the cascaded
+# codes (RDP, HDP, EVENODD) at p = 13, and must never cost any code reads
+# (the --min-savings 0 sweep; `check_code` separately proves the cached
+# plan never reads more than the cascaded compile).
 bench-smoke:
 	RAID_BENCH_SMOKE=1 $(CARGO) bench -p raid-bench
+	$(CARGO) run -q --release -p hvraid -- lint --code rdp --p 13 --min-savings 10
+	$(CARGO) run -q --release -p hvraid -- lint --code hdp --p 13 --min-savings 10
+	$(CARGO) run -q --release -p hvraid -- lint --code evenodd --p 13 --min-savings 10
+	$(CARGO) run -q --release -p hvraid -- lint --p 13 --min-savings 0
 
 # Fixed-seed chaos campaigns over both backends: randomized fault
 # injection (dead disks, transients, latent sectors, torn writes) plus
@@ -61,7 +70,7 @@ verify:
 	$(CARGO) test -q
 	$(MAKE) lint
 	$(MAKE) chaos-smoke
-	RAID_BENCH_SMOKE=1 $(CARGO) bench -p raid-bench
+	$(MAKE) bench-smoke
 
 clean:
 	$(CARGO) clean

@@ -128,6 +128,7 @@ fn build_layout(p: Prime, data_disks: usize) -> Layout {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // xor_all is the allocating test-only oracle here
 mod tests {
     use super::*;
     use crate::testutil::assert_raid6_code;

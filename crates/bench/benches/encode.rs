@@ -9,6 +9,9 @@ use raid_core::{ArrayCode, Stripe};
 use raid_rs::{CauchyRs, PqRaid6};
 
 const ELEMENT: usize = 4096;
+/// Element sizes of the encode sweep: one below the L1 tile, one at the
+/// boundary where tiling starts to matter, one well past it.
+const ELEMENT_SIZES: [usize; 3] = [4 * 1024, 64 * 1024, 256 * 1024];
 
 fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("encode_stripe");
@@ -25,6 +28,71 @@ fn bench_encode(c: &mut Criterion) {
                 |b, _| {
                     b.iter(|| {
                         code.encode(&mut stripe);
+                        std::hint::black_box(&stripe);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Encode throughput across the element-size sweep at p = 13, and the
+/// cache-tiling comparison: the cached (optimized) plan run through the
+/// tiled executor against the same plan walked one whole op at a time.
+/// Past the L1 tile, the untiled walk streams every element through the
+/// cache once per op; the tiled walk keeps a chunk of every element
+/// resident while the entire plan visits it.
+fn bench_encode_tiling(c: &mut Criterion) {
+    let p = 13usize;
+    let mut group = c.benchmark_group("encode_element_sweep");
+    for code in extended(p) {
+        let layout = code.layout();
+        for es in ELEMENT_SIZES {
+            let mut stripe = Stripe::for_layout(layout, es);
+            stripe.fill_data_seeded(layout, 2);
+            let bytes = (layout.num_data_cells() * es) as u64;
+            group.throughput(Throughput::Bytes(bytes));
+            group.bench_with_input(
+                BenchmarkId::new(code.name().replace(' ', "_"), es),
+                &es,
+                |b, _| {
+                    b.iter(|| {
+                        code.encode(&mut stripe);
+                        std::hint::black_box(&stripe);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("encode_tiling");
+    for code in extended(p) {
+        let layout = code.layout();
+        let plan = layout.encode_plan();
+        let name = code.name().replace(' ', "_");
+        for es in ELEMENT_SIZES {
+            let mut stripe = Stripe::for_layout(layout, es);
+            stripe.fill_data_seeded(layout, 3);
+            let bytes = (layout.num_data_cells() * es) as u64;
+            group.throughput(Throughput::Bytes(bytes));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_tiled"), es),
+                &es,
+                |b, _| {
+                    b.iter(|| {
+                        plan.execute(&mut stripe);
+                        std::hint::black_box(&stripe);
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_untiled"), es),
+                &es,
+                |b, _| {
+                    b.iter(|| {
+                        plan.execute_untiled(&mut stripe);
                         std::hint::black_box(&stripe);
                     })
                 },
@@ -136,6 +204,7 @@ fn bench_plan_vs_reference(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_encode,
+    bench_encode_tiling,
     bench_rs_encode,
     bench_kernels,
     bench_plan_vs_reference
@@ -164,11 +233,53 @@ fn main() {
     };
     let vs_seed = speedup(ns("hv_seed_scalar/17"));
     let vs_reference = speedup(ns("hv_reference/17"));
+    // Tiling speedup at 64 KiB elements: tiled vs whole-op execution of
+    // the very same optimized plan, per code.
+    let tiling = |code: &str| {
+        let pick = |id: String| {
+            records
+                .iter()
+                .find(|r| r.group == "encode_tiling" && r.id == id)
+                .map(|r| r.ns_per_iter)
+        };
+        match (pick(format!("{code}_untiled/65536")), pick(format!("{code}_tiled/65536"))) {
+            (Some(untiled), Some(tiled)) if tiled > 0.0 => format!("{:.2}", untiled / tiled),
+            _ => "n/a".to_string(),
+        }
+    };
+    // Optimized-vs-specification XOR reads per code at p = 13: what the
+    // cached plan actually reads against the data-only expansion a
+    // chain-oblivious executor would pay.
+    let xor_reads: Vec<(String, String)> = extended(13)
+        .iter()
+        .map(|code| {
+            let layout = code.layout();
+            let spec = raid_core::XorPlan::compile_encode_expanded(layout).num_source_reads();
+            let opt = layout.encode_plan().num_source_reads();
+            let pct = if spec > 0 {
+                100.0 * (spec.saturating_sub(opt)) as f64 / spec as f64
+            } else {
+                0.0
+            };
+            (
+                format!("xor_reads_p13_{}", code.name().replace(' ', "_")),
+                format!("spec {spec} -> optimized {opt} (-{pct:.1}%)"),
+            )
+        })
+        .collect();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_encode.json");
-    let notes = [
+    let mut notes: Vec<(&str, String)> = vec![
         ("element_bytes", ELEMENT.to_string()),
+        (
+            "element_sweep_bytes",
+            ELEMENT_SIZES.map(|es| es.to_string()).join(" "),
+        ),
+        ("l1_tile_bytes", raid_math::xor::L1_TILE_BYTES.to_string()),
         ("hv_plan_speedup_vs_seed_scalar_p17", vs_seed.clone()),
         ("hv_plan_speedup_vs_simd_reference_p17", vs_reference),
+        ("tiling_speedup_64k_hv", tiling("HV_Code")),
+        ("tiling_speedup_64k_rdp", tiling("RDP")),
+        ("tiling_speedup_64k_evenodd", tiling("EVENODD")),
         (
             "hardware",
             format!(
@@ -178,6 +289,7 @@ fn main() {
             ),
         ),
     ];
+    notes.extend(xor_reads.iter().map(|(k, v)| (k.as_str(), v.clone())));
     write_bench_json(std::path::Path::new(path), &records, &notes).expect("write BENCH_encode.json");
     eprintln!("wrote {path} (hv plan speedup vs seed scalar path at p=17: {vs_seed}x)");
 }

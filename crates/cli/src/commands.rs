@@ -57,11 +57,17 @@ commands:
                                            writes, crash-at-every-journal-point sweeps)
                                            verified against a shadow model; any failure
                                            prints the seed that reproduces it
-  lint      [--code <name>] [--p <prime>] [--all] [--json]
+  lint      [--code <name>] [--p <prime>] [--all] [--json] [--opt]
+            [--min-savings <pct>]
                                            statically verify compiled plans: symbolic
-                                           GF(2) encode proof, exhaustive single/double
-                                           erasure MDS proof, paper-table cross-check
-                                           (default: every code at p = 5 7 11 13 17)
+                                           GF(2) encode proof, optimizer-equivalence
+                                           proof, exhaustive single/double erasure MDS
+                                           proof, paper-table cross-check (default:
+                                           every code at p = 5 7 11 13 17); --opt also
+                                           reports the XOR-read savings of the plan
+                                           optimizer per code, and --min-savings fails
+                                           any code saving less than <pct> percent of
+                                           the specification's XOR reads
 
 codes: hv rdp evenodd xcode hcode hdp pcode liberation";
 
@@ -629,6 +635,11 @@ fn chaos_campaign(parsed: &Parsed) -> Result<String, String> {
 
 fn lint(parsed: &Parsed) -> Result<String, String> {
     let json = parsed.get_or("json", false)?;
+    let opt = parsed.get_or("opt", false)?;
+    // With --min-savings N (implies --opt), a code whose optimized encode
+    // plan saves less than N percent of the specification's XOR reads
+    // fails the lint — the Makefile's bench-smoke regression gate.
+    let min_savings: f64 = parsed.get_or("min-savings", -1.0f64)?;
     // `--all` is the default; the flag exists so scripts can say what they
     // mean. Naming a code restricts the sweep to it.
     let codes: Vec<String> = match parsed.flags.get("code") {
@@ -648,6 +659,16 @@ fn lint(parsed: &Parsed) -> Result<String, String> {
             let report = raid_verify::check_code(name, p)
                 .map_err(|e| format!("lint: {name} at p={p} FAILED\n  {e}"))?;
             patterns += report.mds_singles + report.mds_pairs;
+            let spec = report.encode_reads_spec;
+            let saved = spec.saturating_sub(report.encode_source_reads);
+            let savings_pct =
+                if spec > 0 { 100.0 * saved as f64 / spec as f64 } else { 0.0 };
+            if min_savings >= 0.0 && savings_pct + 1e-9 < min_savings {
+                return Err(format!(
+                    "lint: {name} at p={p} FAILED\n  optimizer saved only {savings_pct:.1}% \
+                     of the {spec} spec XOR reads (< --min-savings {min_savings})"
+                ));
+            }
             if json {
                 lines.push(report.to_json());
             } else {
@@ -668,6 +689,19 @@ fn lint(parsed: &Parsed) -> Result<String, String> {
                     report.metrics.update_complexity,
                     paper,
                 ));
+                if opt || min_savings >= 0.0 {
+                    lines.push(format!(
+                        "{:<10}       xopt: {} spec XOR reads → {} optimized \
+                         (-{:.1}%, {} cascaded, {} scratch temp{})",
+                        "",
+                        spec,
+                        report.encode_source_reads,
+                        savings_pct,
+                        report.encode_reads_cascaded,
+                        report.encode_temps,
+                        if report.encode_temps == 1 { "" } else { "s" },
+                    ));
+                }
             }
         }
     }

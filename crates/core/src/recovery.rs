@@ -89,6 +89,15 @@ impl DoubleRecovery {
             self.steps().zip(&sources).map(|(step, src)| (step.cell, src.as_slice())),
         )
     }
+
+    /// [`DoubleRecovery::compile`] run through the `xopt` middle-end:
+    /// prefixes shared between the four Algorithm-1 chains (and any other
+    /// repeated partial sums) are computed once into scratch temps. The
+    /// optimizer proves the rewrite equivalent over GF(2) and never
+    /// increases the read count.
+    pub fn compile_optimized(&self, layout: &Layout) -> XorPlan {
+        self.compile(layout).optimized()
+    }
 }
 
 /// Computes one recovery chain's values against a read-only stripe view.
@@ -254,7 +263,7 @@ impl HvCode {
         b: usize,
     ) -> Result<DoubleRecovery, DoubleRecoveryError> {
         let plan = self.double_recovery_plan(a, b)?;
-        plan.compile(self.layout()).execute(stripe);
+        plan.compile_optimized(self.layout()).execute(stripe);
         Ok(plan)
     }
 

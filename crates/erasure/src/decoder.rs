@@ -275,7 +275,8 @@ pub fn apply_plan(stripe: &mut Stripe, plan: &DecodePlan) {
         stripe.rows(),
         stripe.cols(),
         plan.steps.iter().map(|s| (s.target, s.sources.as_slice())),
-    );
+    )
+    .optimized();
     compiled.execute(stripe);
 }
 

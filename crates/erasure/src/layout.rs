@@ -243,8 +243,23 @@ impl Layout {
     /// The compiled full-parity [`XorPlan`] for this layout, built on first
     /// use and cached — every stripe encoded through this layout shares one
     /// plan and performs no per-stripe geometry work.
+    ///
+    /// The cached plan is the cheaper (by source reads, then ops) of the
+    /// optimized *expanded* specification — each parity as its data-only
+    /// GF(2) expansion, with `xopt` rediscovering cascades and cross-chain
+    /// sharing as shared partial sums — and the optimized *cascaded* chain
+    /// form, so no layout can end up worse than its chain walk.
     pub fn encode_plan(&self) -> &XorPlan {
-        self.encode_plan_cache.get_or_init(|| XorPlan::compile_encode(self))
+        self.encode_plan_cache.get_or_init(|| {
+            let cascaded = XorPlan::compile_encode(self).optimized();
+            let expanded = XorPlan::compile_encode_expanded(self).optimized();
+            let cost = |p: &XorPlan| (p.num_source_reads(), p.num_ops());
+            if cost(&expanded) < cost(&cascaded) {
+                expanded
+            } else {
+                cascaded
+            }
+        })
     }
 
     /// Number of rows (elements per disk per stripe).

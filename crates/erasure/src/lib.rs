@@ -10,7 +10,9 @@
 //! * [`stripe`] — element buffers and chain-driven encoding;
 //! * [`xplan`] — compiled XOR plans: encode/decode/recovery geometry
 //!   lowered once to flat buffer-index operations, interpreted per stripe
-//!   with no allocation;
+//!   with no allocation (tiled for large elements);
+//! * [`xopt`] — the plan-optimizing middle-end: shared partial sums become
+//!   scratch temps, dead ops are dropped, ops are reordered for locality;
 //! * [`decoder`] — peeling + GF(2) Gaussian erasure decoding, used both as a
 //!   reference decoder and to prove the MDS property exhaustively in tests;
 //! * [`schedule`] — double-failure recovery schedules: the recovery-chain
@@ -42,6 +44,7 @@ pub mod schedule;
 pub mod scrub;
 pub mod spec;
 pub mod stripe;
+pub mod xopt;
 pub mod xplan;
 
 pub use code::ArrayCode;

@@ -227,6 +227,24 @@ impl Stripe {
         }
         self.bufs[dst] = out;
     }
+
+    /// Detaches the buffer at linear index `idx` so tiled plan execution
+    /// can borrow other buffers as sources while writing into it; pair
+    /// with [`Stripe::put_buf`].
+    pub(crate) fn take_buf(&mut self, idx: usize) -> Vec<u8> {
+        std::mem::take(&mut self.bufs[idx])
+    }
+
+    /// Re-attaches a buffer detached by [`Stripe::take_buf`].
+    pub(crate) fn put_buf(&mut self, idx: usize, buf: Vec<u8>) {
+        self.bufs[idx] = buf;
+    }
+
+    /// Borrows the buffer at linear index `idx` (tiled execution's source
+    /// view; `element` requires a [`Cell`]).
+    pub(crate) fn buf(&self, idx: usize) -> &[u8] {
+        &self.bufs[idx]
+    }
 }
 
 /// Topologically orders chains so that any chain whose members include

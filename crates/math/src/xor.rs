@@ -254,14 +254,37 @@ pub fn xor_many_into_scalar(dst: &mut [u8], srcs: &[&[u8]]) {
 
 /// Returns the XOR of all sources as a fresh buffer.
 ///
+/// Test-only convenience: every call allocates, so hot paths use
+/// [`xor_gather_into`] against a caller-provided buffer instead.
+///
 /// # Panics
 ///
 /// Panics if `srcs` is empty or lengths differ.
+#[doc(hidden)]
+#[deprecated(note = "allocates per call; use xor_gather_into with a caller-provided buffer")]
 pub fn xor_all(srcs: &[&[u8]]) -> Vec<u8> {
     assert!(!srcs.is_empty(), "xor_all: no sources");
     let mut out = srcs[0].to_vec();
     xor_many_into(&mut out, &srcs[1..]);
     out
+}
+
+/// Tile size (bytes) the plan executor uses to keep a working set of
+/// elements resident in L1 while it walks every op of a plan over one
+/// tile before advancing to the next.
+///
+/// 16 KiB leaves room in a typical 32–48 KiB L1d for the destination
+/// tile plus a couple of source tiles and the gather pointer array.
+pub const L1_TILE_BYTES: usize = 16 * 1024;
+
+/// Splits `len` bytes into [`L1_TILE_BYTES`]-sized chunks, yielding
+/// `(offset, chunk_len)` pairs — the chunked entry point tiled plan
+/// execution slices every element buffer with. The final chunk carries
+/// the ragged tail; `len == 0` yields nothing.
+pub fn tiles(len: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..len)
+        .step_by(L1_TILE_BYTES)
+        .map(move |off| (off, L1_TILE_BYTES.min(len - off)))
 }
 
 /// True if the buffer is entirely zero — handy for parity-consistency
@@ -604,6 +627,21 @@ mod tests {
     }
 
     #[test]
+    fn tiles_cover_len_exactly() {
+        for len in [0usize, 1, L1_TILE_BYTES - 1, L1_TILE_BYTES, L1_TILE_BYTES + 1, 3 * L1_TILE_BYTES + 7] {
+            let chunks: Vec<(usize, usize)> = tiles(len).collect();
+            let mut expect_off = 0;
+            for &(off, n) in &chunks {
+                assert_eq!(off, expect_off);
+                assert!(n > 0 && n <= L1_TILE_BYTES);
+                expect_off += n;
+            }
+            assert_eq!(expect_off, len);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn xor_all_and_many() {
         let a = [1u8, 2, 3];
         let b = [4u8, 5, 6];

@@ -1,5 +1,9 @@
 //! Property-based tests for the arithmetic substrate.
 
+// `xor_all` is deprecated for production use but deliberately exercised
+// here as the allocating reference oracle.
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 
 use raid_math::gf256;

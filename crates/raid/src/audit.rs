@@ -61,6 +61,13 @@ pub enum AuditError {
         /// The undefined source.
         source: Cell,
     },
+    /// A plan op involving an optimizer scratch temp reads a slot nothing
+    /// defined (temps live past the grid, so the offender cannot be named
+    /// as a [`Cell`]).
+    UnsourcedTemp {
+        /// Human-readable description naming the op target and the slot.
+        detail: String,
+    },
     /// A write stores a scratch cell that nothing defined.
     UnsourcedWrite {
         /// The undefined cell being stored.
@@ -94,6 +101,7 @@ impl fmt::Display for AuditError {
                 f,
                 "plan op for {target} reads {source}, which no read or earlier op defines"
             ),
+            AuditError::UnsourcedTemp { detail } => write!(f, "{detail}"),
             AuditError::UnsourcedWrite { cell } => {
                 write!(f, "write stores {cell}, which no read or plan op defines")
             }
@@ -160,15 +168,29 @@ pub fn audit_lowered(
                 scratch,
             });
         }
-        for (target, sources) in plan.steps() {
+        // Optimized plans may carry scratch temps past the grid; extend
+        // the defined-tracking to cover them (plan flat indices match
+        // `Cell::index(scratch_cols)` for grid slots, shape checked above).
+        defined.resize(ncells + plan.num_temps(), false);
+        for view in plan.step_views() {
             if preset.is_some() {
-                for &s in &sources {
-                    if !defined[s.index(scratch_cols)] {
-                        return Err(AuditError::UnsourcedXor { target, source: s });
+                for &s in view.srcs {
+                    if !defined[s as usize] {
+                        use raid_core::xplan::PlanCell;
+                        return Err(match (plan.plan_cell(view.dst), plan.plan_cell(s)) {
+                            (PlanCell::Grid(target), PlanCell::Grid(source)) => {
+                                AuditError::UnsourcedXor { target, source }
+                            }
+                            (d, src) => AuditError::UnsourcedTemp {
+                                detail: format!(
+                                    "plan op for {d} reads {src}, which no read or earlier op defines"
+                                ),
+                            },
+                        });
                     }
                 }
             }
-            defined[target.index(scratch_cols)] = true;
+            defined[view.dst as usize] = true;
         }
     }
 

@@ -61,6 +61,10 @@ pub struct IoPipeline {
     /// Simulated latency accumulated by the current operation (reset via
     /// [`IoPipeline::begin_op`]).
     op_latency_ms: f64,
+    /// Recycled pre-image buffers for the crash-journal write phase. Every
+    /// op used to allocate one fresh `Vec<u8>` per write target; the pool
+    /// caps steady-state allocation at the largest write set seen so far.
+    pre_image_pool: Vec<Vec<u8>>,
 }
 
 impl std::fmt::Debug for IoPipeline {
@@ -77,7 +81,13 @@ impl IoPipeline {
     /// Wraps a backend; the ledger starts at zero, no simulator attached.
     pub fn new(backend: Box<dyn DiskBackend>) -> Self {
         let disks = backend.disks();
-        IoPipeline { backend, ledger: IoLedger::new(disks), sim: None, op_latency_ms: 0.0 }
+        IoPipeline {
+            backend,
+            ledger: IoLedger::new(disks),
+            sim: None,
+            op_latency_ms: 0.0,
+            pre_image_pool: Vec::new(),
+        }
     }
 
     /// The backend (volume-internal maintenance access: unaccounted
@@ -190,52 +200,68 @@ impl IoPipeline {
         let targets: Vec<(Cell, DiskAddr)> =
             op.data_writes.iter().chain(&op.parity_writes).copied().collect();
         let mut entries: Vec<JournalEntry> = Vec::with_capacity(targets.len());
-        for &(_, addr) in &targets {
-            let mut pre = vec![0u8; es];
-            match self.backend.read(addr.disk, addr.index, &mut pre) {
-                Ok(()) => {}
-                // An unreadable sector we are about to overwrite: the
-                // write remaps it, and zeros are as good an undo image as
-                // any for a sector that had no readable contents.
-                Err(DiskError::LatentSector { .. }) => pre.fill(0),
-                Err(e) => return Err(e),
+        let write_result = (|| -> Result<(), DiskError> {
+            for &(_, addr) in &targets {
+                let mut pre = self.pre_image_pool.pop().unwrap_or_default();
+                pre.resize(es, 0);
+                match self.backend.read(addr.disk, addr.index, &mut pre) {
+                    // A full-element read overwrites any recycled contents.
+                    Ok(()) => {}
+                    // An unreadable sector we are about to overwrite: the
+                    // write remaps it, and zeros are as good an undo image
+                    // as any for a sector that had no readable contents.
+                    Err(DiskError::LatentSector { .. }) => pre.fill(0),
+                    Err(e) => {
+                        self.pre_image_pool.push(pre);
+                        return Err(e);
+                    }
+                }
+                entries.push(JournalEntry { disk: addr.disk, index: addr.index, data: pre });
             }
-            entries.push(JournalEntry { disk: addr.disk, index: addr.index, data: pre });
-        }
-        if !targets.is_empty() {
-            self.backend.journal_begin(&entries)?;
-        }
-        let mut failed: Option<(usize, DiskError)> = None;
-        for (i, &(cell, addr)) in targets.iter().enumerate() {
-            if let Err(e) = self.backend.write(addr.disk, addr.index, scratch.element(cell)) {
-                failed = Some((i, e));
-                break;
+            if !targets.is_empty() {
+                self.backend.journal_begin(&entries)?;
             }
-        }
-        if let Some((written, e)) = failed {
-            // Roll the completed writes back in place. A rollback write to
-            // the disk that just died is fine to skip (its content is
-            // invalid until rebuilt); any other rollback failure — above
-            // all a crash — means the in-place undo is incomplete, so the
-            // journal must survive for reopen-time recovery.
-            let mut undo_ok = true;
-            for entry in entries[..written].iter().rev() {
-                match self.backend.write(entry.disk, entry.index, &entry.data) {
-                    Ok(()) | Err(DiskError::DiskFailed { .. }) => {}
-                    Err(_) => undo_ok = false,
+            let mut failed: Option<(usize, DiskError)> = None;
+            for (i, &(cell, addr)) in targets.iter().enumerate() {
+                if let Err(e) = self.backend.write(addr.disk, addr.index, scratch.element(cell))
+                {
+                    failed = Some((i, e));
+                    break;
                 }
             }
-            if undo_ok && !targets.is_empty() {
-                let _ = self.backend.journal_commit();
+            if let Some((written, e)) = failed {
+                // Roll the completed writes back in place. A rollback write
+                // to the disk that just died is fine to skip (its content
+                // is invalid until rebuilt); any other rollback failure —
+                // above all a crash — means the in-place undo is
+                // incomplete, so the journal must survive for reopen-time
+                // recovery.
+                let mut undo_ok = true;
+                for entry in entries[..written].iter().rev() {
+                    match self.backend.write(entry.disk, entry.index, &entry.data) {
+                        Ok(()) | Err(DiskError::DiskFailed { .. }) => {}
+                        Err(_) => undo_ok = false,
+                    }
+                }
+                if undo_ok && !targets.is_empty() {
+                    let _ = self.backend.journal_commit();
+                }
+                return Err(e);
             }
-            return Err(e);
-        }
-        if !targets.is_empty() {
-            // If the commit itself fails (crash between the last write and
-            // here), the journal survives and reopen rolls the whole op
-            // back — consistent with reporting the op as failed.
-            self.backend.journal_commit()?;
-        }
+            if !targets.is_empty() {
+                // If the commit itself fails (crash between the last write
+                // and here), the journal survives and reopen rolls the
+                // whole op back — consistent with reporting the op as
+                // failed.
+                self.backend.journal_commit()?;
+            }
+            Ok(())
+        })();
+        // Return the pre-image buffers to the pool whatever happened:
+        // `journal_begin` made its own durable copy, and the in-place undo
+        // (if any) already ran above.
+        self.pre_image_pool.extend(entries.into_iter().map(|e| e.data));
+        write_result?;
         for &(_, addr) in &op.data_writes {
             rs.add_data_write(addr.disk);
         }

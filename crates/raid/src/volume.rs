@@ -50,6 +50,7 @@ fn compile_chain_repairs(layout: &Layout, repairs: &[(Cell, ChainId)]) -> XorPla
         layout.cols(),
         repairs.iter().zip(&sources).map(|((cell, _), src)| (*cell, src.as_slice())),
     )
+    .optimized()
 }
 
 /// Errors from volume operations.
@@ -691,7 +692,7 @@ impl RaidVolume {
         }
         let op = LoweredOp {
             reads,
-            plan: Some(XorPlan::compile_decode(layout, &decode_plan)),
+            plan: Some(XorPlan::compile_decode(layout, &decode_plan).optimized()),
             data_writes,
             parity_writes,
         };
@@ -916,7 +917,7 @@ impl RaidVolume {
                 .expect("RAID-6 code repairs up to two columns");
             let fetch = LoweredOp {
                 reads,
-                plan: Some(XorPlan::compile_decode(layout, &decode_plan)),
+                plan: Some(XorPlan::compile_decode(layout, &decode_plan).optimized()),
                 ..Default::default()
             };
             let mut scratch = Stripe::for_layout(layout, self.element_size);
@@ -1031,11 +1032,14 @@ impl RaidVolume {
                                 .iter()
                                 .map(|&c| (c, self.addr_of(seg.stripe, c)))
                                 .collect(),
-                            plan: Some(XorPlan::from_steps(
-                                layout.rows(),
-                                layout.cols(),
-                                plan.steps.iter().map(|s| (s.target, s.sources.as_slice())),
-                            )),
+                            plan: Some(
+                                XorPlan::from_steps(
+                                    layout.rows(),
+                                    layout.cols(),
+                                    plan.steps.iter().map(|s| (s.target, s.sources.as_slice())),
+                                )
+                                .optimized(),
+                            ),
                             ..Default::default()
                         }
                     }
@@ -1235,7 +1239,7 @@ impl RaidVolume {
                     reads.push((cell, self.addr_of(idx, cell)));
                 }
             }
-            (reads, XorPlan::compile_decode(layout, &decode_plan))
+            (reads, XorPlan::compile_decode(layout, &decode_plan).optimized())
         };
 
         let mut data_writes = Vec::new();

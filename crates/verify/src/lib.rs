@@ -34,7 +34,8 @@ use std::sync::Arc;
 
 use raid_core::ArrayCode;
 
-use plan_check::{prove_mds, verify_encode, PlanError};
+use plan_check::{prove_equivalent, prove_mds, verify_encode, PlanError};
+use raid_core::XorPlan;
 use report::{diff_expectation, paper_expectation, CodeMetrics, CodeReport};
 
 /// Codes the analyzer (and the CLI, which delegates here) knows.
@@ -97,8 +98,11 @@ impl std::fmt::Display for CheckError {
 
 impl std::error::Error for CheckError {}
 
-/// Statically verifies one code at one prime: encode-plan proof,
-/// exhaustive single/double-erasure MDS proof, and paper-table check.
+/// Statically verifies one code at one prime: encode-plan proof, proof
+/// that the cached (optimizer-rewritten) encode plan is GF(2)-equivalent
+/// to the chain specification and never costs more reads than the
+/// cascaded chain walk, exhaustive single/double-erasure MDS proof (which
+/// itself re-proves every optimized decode plan), and paper-table check.
 ///
 /// # Errors
 ///
@@ -108,7 +112,24 @@ pub fn check_code(name: &str, p: usize) -> Result<CodeReport, CheckError> {
     let code = build(name, p).map_err(CheckError::Build)?;
     let layout = code.layout();
 
-    let encode = verify_encode(layout, layout.encode_plan()).map_err(CheckError::Plan)?;
+    let cached = layout.encode_plan();
+    let encode = verify_encode(layout, cached).map_err(CheckError::Plan)?;
+    // The optimized cached plan must be provably identical to both
+    // specification forms, and must never read more than the cascaded
+    // chain walk (the pre-optimizer plan) would.
+    let cascaded = XorPlan::compile_encode(layout);
+    let expanded = XorPlan::compile_encode_expanded(layout);
+    prove_equivalent(&cascaded, cached).map_err(CheckError::Plan)?;
+    prove_equivalent(&expanded, cached).map_err(CheckError::Plan)?;
+    if cached.num_source_reads() > cascaded.num_source_reads() {
+        return Err(CheckError::Plan(PlanError::TempHazard {
+            detail: format!(
+                "optimizer regressed encode reads: cascaded {} → cached {}",
+                cascaded.num_source_reads(),
+                cached.num_source_reads()
+            ),
+        }));
+    }
     let mds = prove_mds(layout).map_err(CheckError::Plan)?;
 
     let metrics = CodeMetrics::measure(layout);
@@ -126,6 +147,9 @@ pub fn check_code(name: &str, p: usize) -> Result<CodeReport, CheckError> {
         metrics,
         encode_ops: encode.ops,
         encode_source_reads: encode.source_reads,
+        encode_reads_spec: expanded.num_source_reads(),
+        encode_reads_cascaded: cascaded.num_source_reads(),
+        encode_temps: cached.num_temps(),
         mds_singles: mds.singles,
         mds_pairs: mds.pairs,
         paper_diffs,

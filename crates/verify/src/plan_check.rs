@@ -23,6 +23,7 @@
 use std::fmt;
 
 use raid_core::bitset::BitSet;
+use raid_core::xplan::{PlanCell, StepView};
 use raid_core::{Cell, Layout, XorPlan};
 
 use crate::symbolic::{SymExpr, SymState};
@@ -114,6 +115,17 @@ pub enum PlanError {
         /// The underlying failure.
         inner: Box<PlanError>,
     },
+    /// A hazard involving a scratch temp of an optimized plan (written
+    /// twice, read before written, self-read, duplicate listing).
+    TempHazard {
+        /// Rendered description of the hazard, naming the op and temp.
+        detail: String,
+    },
+    /// An optimized plan writes a grid cell its original never produced.
+    ExtraTarget {
+        /// The extra target cell.
+        cell: Cell,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -164,6 +176,10 @@ impl fmt::Display for PlanError {
             ),
             PlanError::Pattern { disks, inner } => {
                 write!(f, "erasure of disk(s) {disks:?}: {inner}")
+            }
+            PlanError::TempHazard { detail } => write!(f, "{detail}"),
+            PlanError::ExtraTarget { cell } => {
+                write!(f, "optimized plan writes {cell}, which the original never produced")
             }
         }
     }
@@ -241,6 +257,54 @@ pub fn expected_encoding(layout: &Layout, extra: usize) -> Result<Vec<SymExpr>, 
         .collect())
 }
 
+/// Shared per-op source hazard scan over one zero-copy [`StepView`]:
+/// self-reads, duplicate sources and reads of unwritten scratch temps,
+/// plus a caller-supplied check for grid sources (receiving the source
+/// cell and whether the plan has already written it).
+fn structural_sources(
+    plan: &XorPlan,
+    view: StepView<'_>,
+    written: &BitSet,
+    mut grid_check: impl FnMut(Cell, bool) -> Result<(), PlanError>,
+) -> Result<(), PlanError> {
+    let nslots = plan.rows() * plan.cols() + plan.num_temps();
+    let dst = plan.plan_cell(view.dst);
+    let mut seen = BitSet::new(nslots);
+    for &s in view.srcs {
+        if s == view.dst {
+            return Err(match dst {
+                PlanCell::Grid(target) => PlanError::SelfRead { target },
+                PlanCell::Temp(t) => PlanError::TempHazard {
+                    detail: format!("op for scratch temp t{t} reads its own target"),
+                },
+            });
+        }
+        if !seen.insert(s as usize) {
+            return Err(match (dst, plan.plan_cell(s)) {
+                (PlanCell::Grid(target), PlanCell::Grid(source)) => {
+                    PlanError::DuplicateSource { target, source }
+                }
+                (d, src) => PlanError::TempHazard {
+                    detail: format!("op for {d} lists {src} twice"),
+                },
+            });
+        }
+        match plan.plan_cell(s) {
+            PlanCell::Grid(sc) => grid_check(sc, written.contains(s as usize))?,
+            PlanCell::Temp(t) => {
+                if !written.contains(s as usize) {
+                    return Err(PlanError::TempHazard {
+                        detail: format!(
+                            "op for {dst} reads scratch temp t{t} before it is written"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Proves an encode plan correct for `layout` (see the module docs for
 /// the exact obligations).
 ///
@@ -258,30 +322,43 @@ pub fn verify_encode(layout: &Layout, plan: &XorPlan) -> Result<EncodeProof, Pla
     let cols = layout.cols();
     let ncells = layout.num_cells();
 
-    // Structural pass: dead/duplicate/self-referential ops and
-    // read-before-write hazards on stale parity.
-    let mut written = BitSet::new(ncells);
+    // Structural pass (over the zero-copy step views, which also cover
+    // scratch temps): dead/duplicate/self-referential ops and
+    // read-before-write hazards on stale parity or unwritten temps.
+    let mut written = BitSet::new(ncells + plan.num_temps());
     let mut source_reads = 0usize;
-    for (target, sources) in plan.steps() {
-        if layout.is_data(target) {
-            return Err(PlanError::TargetNotParity { target });
-        }
-        if !written.insert(target.index(cols)) {
-            return Err(PlanError::DuplicateTarget { target });
-        }
-        let mut seen = BitSet::new(ncells);
-        for &s in &sources {
-            if s == target {
-                return Err(PlanError::SelfRead { target });
+    for view in plan.step_views() {
+        let dst = plan.plan_cell(view.dst);
+        if let PlanCell::Grid(target) = dst {
+            if layout.is_data(target) {
+                return Err(PlanError::TargetNotParity { target });
             }
-            if !seen.insert(s.index(cols)) {
-                return Err(PlanError::DuplicateSource { target, source: s });
-            }
-            if !layout.is_data(s) && !written.contains(s.index(cols)) {
-                return Err(PlanError::StaleParityRead { target, source: s });
-            }
-            source_reads += 1;
         }
+        if !written.insert(view.dst as usize) {
+            return Err(match dst {
+                PlanCell::Grid(target) => PlanError::DuplicateTarget { target },
+                PlanCell::Temp(t) => PlanError::TempHazard {
+                    detail: format!("scratch temp t{t} is written twice"),
+                },
+            });
+        }
+        structural_sources(plan, view, &written, |sc, defined| {
+            if !layout.is_data(sc) && !defined {
+                match dst {
+                    PlanCell::Grid(target) => {
+                        Err(PlanError::StaleParityRead { target, source: sc })
+                    }
+                    PlanCell::Temp(_) => Err(PlanError::TempHazard {
+                        detail: format!(
+                            "op for {dst} reads parity {sc} before the plan writes it"
+                        ),
+                    }),
+                }
+            } else {
+                Ok(())
+            }
+        })?;
+        source_reads += view.srcs.len();
     }
     for chain in layout.chains() {
         if !written.contains(chain.parity.index(cols)) {
@@ -345,24 +422,26 @@ pub fn verify_decode_targeted(
         lost_set.insert(c.index(cols));
     }
 
-    // Structural pass: only erased cells may be written, each at most once.
-    let mut written = BitSet::new(ncells);
-    for (target, sources) in plan.steps() {
-        if !lost_set.contains(target.index(cols)) {
-            return Err(PlanError::SurvivorClobbered { target });
-        }
-        if !written.insert(target.index(cols)) {
-            return Err(PlanError::DuplicateTarget { target });
-        }
-        let mut seen = BitSet::new(ncells);
-        for &s in &sources {
-            if s == target {
-                return Err(PlanError::SelfRead { target });
-            }
-            if !seen.insert(s.index(cols)) {
-                return Err(PlanError::DuplicateSource { target, source: s });
+    // Structural pass: only erased cells (or scratch temps) may be
+    // written, each at most once; no self-reads, duplicate sources or
+    // reads of unwritten temps.
+    let mut written = BitSet::new(ncells + plan.num_temps());
+    for view in plan.step_views() {
+        let dst = plan.plan_cell(view.dst);
+        if let PlanCell::Grid(target) = dst {
+            if !lost_set.contains(target.index(cols)) {
+                return Err(PlanError::SurvivorClobbered { target });
             }
         }
+        if !written.insert(view.dst as usize) {
+            return Err(match dst {
+                PlanCell::Grid(target) => PlanError::DuplicateTarget { target },
+                PlanCell::Temp(t) => PlanError::TempHazard {
+                    detail: format!("scratch temp t{t} is written twice"),
+                },
+            });
+        }
+        structural_sources(plan, view, &written, |_, _| Ok(()))?;
     }
 
     // Initial symbolic stripe: survivors hold their encoded expansion over
@@ -399,26 +478,122 @@ pub fn verify_decode_targeted(
     Ok(())
 }
 
+/// What [`prove_equivalent`] proved, with both plans' read costs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceProof {
+    /// Grid cells whose final symbolic expression was compared.
+    pub cells_checked: usize,
+    /// Source reads in the original plan.
+    pub reads_before: usize,
+    /// Source reads in the optimized plan.
+    pub reads_after: usize,
+}
+
+/// Proves `optimized` computes the same GF(2) function of the stripe's
+/// initial contents as `original`, for every cell in `original`'s output
+/// set: both plans are executed symbolically from the identity state
+/// (scratch temps resolve by substitution — they start at zero and only
+/// ever hold combinations of initial grid contents) and every output
+/// cell's final expression must match exactly. By linearity over GF(2),
+/// agreement on the basis is agreement on **all** stripe contents.
+/// `optimized` must also write no grid cell `original` never produced.
+///
+/// This is the independent proof obligation behind `erasure::xopt`: the
+/// optimizer self-checks with its own symbolic executor, and this prover
+/// re-derives the same property in a separately implemented domain for
+/// every plan the codes actually cache.
+///
+/// # Errors
+///
+/// Returns [`PlanError::ShapeMismatch`] if the grids differ,
+/// [`PlanError::ExtraTarget`] if `optimized` writes a cell `original`
+/// does not, or [`PlanError::WrongEquation`] naming the first output
+/// cell whose expressions diverge.
+pub fn prove_equivalent(
+    original: &XorPlan,
+    optimized: &XorPlan,
+) -> Result<EquivalenceProof, PlanError> {
+    if original.rows() != optimized.rows() || original.cols() != optimized.cols() {
+        return Err(PlanError::ShapeMismatch {
+            plan: (optimized.rows(), optimized.cols()),
+            layout: (original.rows(), original.cols()),
+        });
+    }
+    let (rows, cols) = (original.rows(), original.cols());
+    let ncells = rows * cols;
+
+    let mut orig_state = SymState::identity(rows, cols);
+    orig_state.execute(original).expect("shape checked above");
+    let mut opt_state = SymState::identity(rows, cols);
+    opt_state.execute(optimized).expect("shape checked above");
+
+    let orig_written: BitSet = {
+        let mut b = BitSet::new(ncells);
+        for c in original.targets() {
+            b.insert(c.index(cols));
+        }
+        b
+    };
+    for cell in optimized.targets() {
+        if !orig_written.contains(cell.index(cols)) {
+            return Err(PlanError::ExtraTarget { cell });
+        }
+    }
+
+    let outputs = original.output_indices();
+    for &oi in &outputs {
+        let cell = Cell::from_index(oi as usize, cols);
+        let got = opt_state.expr(cell);
+        let want = orig_state.expr(cell);
+        if got != want {
+            return Err(PlanError::WrongEquation {
+                cell,
+                got: got.render(cols, ncells),
+                want: want.render(cols, ncells),
+            });
+        }
+    }
+    Ok(EquivalenceProof {
+        cells_checked: outputs.len(),
+        reads_before: original.num_source_reads(),
+        reads_after: optimized.num_source_reads(),
+    })
+}
+
 /// Exhaustively proves the MDS property for the plans the decode compiler
-/// emits: every single- and double-disk erasure pattern gets a plan and
-/// that plan symbolically reconstructs every erased cell.
+/// emits: every single- and double-disk erasure pattern gets a plan, that
+/// plan symbolically reconstructs every erased cell, and the `xopt`
+/// middle-end's rewrite of it (the plan the runtime actually executes) is
+/// proven equivalent, re-verified, and never costs more reads.
 ///
 /// # Errors
 ///
 /// Returns [`PlanError::NotDecodable`] (wrapped with the pattern) if some
-/// pattern has no plan, or the wrapped verification failure if a plan is
-/// wrong.
+/// pattern has no plan, or the wrapped verification failure if a plan (or
+/// its optimized rewrite) is wrong.
 pub fn prove_mds(layout: &Layout) -> Result<MdsProof, PlanError> {
     let n = layout.cols();
     let verify_pattern = |disks: &[usize]| -> Result<(), PlanError> {
+        let wrap = |e: PlanError| PlanError::Pattern {
+            disks: disks.to_vec(),
+            inner: Box::new(e),
+        };
         let lost: Vec<Cell> = disks.iter().flat_map(|&d| layout.cells_in_col(d)).collect();
         let decode = raid_core::decoder::plan_decode(layout, &lost)
             .map_err(|_| PlanError::NotDecodable { disks: disks.to_vec() })?;
         let compiled = XorPlan::compile_decode(layout, &decode);
-        verify_decode(layout, &lost, &compiled).map_err(|e| PlanError::Pattern {
-            disks: disks.to_vec(),
-            inner: Box::new(e),
-        })
+        verify_decode(layout, &lost, &compiled).map_err(wrap)?;
+        let optimized = compiled.optimized();
+        let eq = prove_equivalent(&compiled, &optimized).map_err(wrap)?;
+        if eq.reads_after > eq.reads_before {
+            return Err(wrap(PlanError::TempHazard {
+                detail: format!(
+                    "optimizer increased decode reads: {} → {}",
+                    eq.reads_before, eq.reads_after
+                ),
+            }));
+        }
+        verify_decode(layout, &lost, &optimized).map_err(wrap)
     };
     for f in 0..n {
         verify_pattern(&[f])?;

@@ -171,8 +171,19 @@ pub struct CodeReport {
     pub metrics: CodeMetrics,
     /// Encode-plan op count and source reads (from the proof).
     pub encode_ops: usize,
-    /// Total encode source reads.
+    /// Total encode source reads of the cached (optimized) plan.
     pub encode_source_reads: usize,
+    /// Source reads of the unoptimized *expanded* specification form
+    /// (each parity as its data-only GF(2) expansion) — what a naive
+    /// chain-oblivious executor would pay, and the baseline `xopt`'s
+    /// savings are reported against.
+    pub encode_reads_spec: usize,
+    /// Source reads of the cascaded chain-walk compile — the
+    /// pre-optimizer plan shape. The cached plan never reads more than
+    /// this (asserted by `check_code`).
+    pub encode_reads_cascaded: usize,
+    /// Scratch temps in the cached (optimized) encode plan.
+    pub encode_temps: usize,
     /// Single-disk erasure patterns proven.
     pub mds_singles: usize,
     /// Double-disk erasure patterns proven.
@@ -215,7 +226,9 @@ impl CodeReport {
                 "{{\"code\":\"{}\",\"p\":{},\"disks\":{},\"rows\":{},",
                 "\"update_complexity\":{:.6},\"chain_lengths\":[{}],",
                 "\"parities_per_disk\":[{}],\"encode_ops\":{},",
-                "\"encode_source_reads\":{},\"mds_singles\":{},\"mds_pairs\":{},",
+                "\"encode_source_reads\":{},\"encode_reads_spec\":{},",
+                "\"encode_reads_cascaded\":{},\"encode_temps\":{},",
+                "\"mds_singles\":{},\"mds_pairs\":{},",
                 "\"paper_match\":{},\"paper_diffs\":[{}]}}"
             ),
             json_escape(&self.code),
@@ -227,6 +240,9 @@ impl CodeReport {
             per_disk.join(","),
             self.encode_ops,
             self.encode_source_reads,
+            self.encode_reads_spec,
+            self.encode_reads_cascaded,
+            self.encode_temps,
             self.mds_singles,
             self.mds_pairs,
             self.paper_diffs.is_empty(),
@@ -270,6 +286,9 @@ mod tests {
             metrics: CodeMetrics::measure(layout),
             encode_ops: layout.chains().len(),
             encode_source_reads: 0,
+            encode_reads_spec: 0,
+            encode_reads_cascaded: 0,
+            encode_temps: 0,
             mds_singles: 4,
             mds_pairs: 6,
             paper_diffs: vec!["a \"quoted\" diff".into()],

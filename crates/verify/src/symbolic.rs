@@ -126,7 +126,11 @@ impl fmt::Display for SymExecError {
 
 impl std::error::Error for SymExecError {}
 
-/// A symbolic stripe: one [`SymExpr`] per cell of a `rows × cols` grid.
+/// A symbolic stripe: one [`SymExpr`] per cell of a `rows × cols` grid,
+/// plus — while executing an optimized plan — one slot per scratch temp
+/// in the plan's arena (indices `rows·cols ..` of `cells`, zeroed at the
+/// start of every execution, mirroring the interpreter's per-call temp
+/// buffers).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SymState {
     rows: usize,
@@ -202,7 +206,10 @@ impl SymState {
         self.cells[target.index(self.cols)] = acc;
     }
 
-    /// Runs a whole compiled plan symbolically, op by op.
+    /// Runs a whole compiled plan symbolically, op by op, via the plan's
+    /// zero-copy [`raid_core::xplan::StepView`]s. Scratch temps in the
+    /// plan's arena get state slots beyond the grid, zeroed on entry
+    /// (the interpreter allocates fresh temp buffers per call).
     ///
     /// # Errors
     ///
@@ -215,8 +222,20 @@ impl SymState {
                 state: (self.rows, self.cols),
             });
         }
-        for (target, sources) in plan.steps() {
-            self.apply(target, &sources);
+        let ncells = self.rows * self.cols;
+        let nslots = ncells + plan.num_temps();
+        if self.cells.len() < nslots {
+            self.cells.resize(nslots, SymExpr::zero(self.nbasis));
+        }
+        for t in ncells..nslots {
+            self.cells[t] = SymExpr::zero(self.nbasis);
+        }
+        for view in plan.step_views() {
+            let mut acc = SymExpr::zero(self.nbasis);
+            for &s in view.srcs {
+                acc.xor_assign(&self.cells[s as usize]);
+            }
+            self.cells[view.dst as usize] = acc;
         }
         Ok(())
     }
