@@ -20,7 +20,10 @@ bench:
 # at least 10% of the specification's encode XOR reads for the cascaded
 # codes (RDP, HDP, EVENODD) at p = 13, and must never cost any code reads
 # (the --min-savings 0 sweep; `check_code` separately proves the cached
-# plan never reads more than the cascaded compile).
+# plan never reads more than the cascaded compile). The update bench also
+# gates write coalescing: the Table-II trace with the stripe cache on
+# must cost >=30% less total element I/O than uncached (BENCH_update.json
+# records the pair), and the skew bench writes BENCH_skew.json.
 bench-smoke:
 	RAID_BENCH_SMOKE=1 $(CARGO) bench -p raid-bench
 	$(CARGO) run -q --release -p hvraid -- lint --code rdp --p 13 --min-savings 10
@@ -30,7 +33,8 @@ bench-smoke:
 
 # Fixed-seed chaos campaigns over both backends: randomized fault
 # injection (dead disks, transients, latent sectors, torn writes) plus
-# crash-at-every-journal-point sweeps, verified against a shadow model.
+# crash-at-every-journal-point sweeps, including crashes under a dirty
+# write-back cache mid-coalesced-flush, verified against a shadow model.
 # Deterministic and fast (<30 s); failures print the reproducing seed.
 chaos-smoke:
 	$(CARGO) run -q --release -p hvraid -- chaos --seed 1 --episodes 25

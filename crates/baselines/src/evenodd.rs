@@ -128,13 +128,12 @@ fn build_layout(p: Prime, data_disks: usize) -> Layout {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // xor_all is the allocating test-only oracle here
 mod tests {
     use super::*;
     use crate::testutil::assert_raid6_code;
     use raid_core::invariants;
     use raid_core::Stripe;
-    use raid_math::xor::xor_all;
+    use raid_math::xor::xor_gather_into;
 
     #[test]
     fn geometry() {
@@ -163,7 +162,8 @@ mod tests {
                 (r < p - 1).then(|| s.element(Cell::new(r, c)))
             })
             .collect();
-        let adjuster = xor_all(&s_cells);
+        let mut adjuster = vec![0u8; s.element_size()];
+        xor_gather_into(&mut adjuster, &s_cells);
 
         for d in 0..p - 1 {
             let diag: Vec<&[u8]> = (0..p)
@@ -172,7 +172,8 @@ mod tests {
                     (r < p - 1).then(|| s.element(Cell::new(r, c)))
                 })
                 .collect();
-            let mut expect = xor_all(&diag);
+            let mut expect = vec![0u8; s.element_size()];
+            xor_gather_into(&mut expect, &diag);
             raid_math::xor::xor_into(&mut expect, &adjuster);
             assert_eq!(s.element(Cell::new(d, p + 1)), &expect[..], "diagonal {d}");
         }

@@ -126,13 +126,10 @@ fn main() {
         ("hv_degraded_read_MBps_p13", hv_single.clone()),
         ("hv_double_degraded_read_MBps_p7", hv_double),
         (
-            "hardware",
-            format!(
-                "{} logical core(s) available; xor backend {}",
-                std::thread::available_parallelism().map_or(0, usize::from),
-                raid_math::xor::active_backend().name(),
-            ),
+            "host_logical_cores",
+            std::thread::available_parallelism().map_or(0, usize::from).to_string(),
         ),
+        ("xor_backend", raid_math::xor::active_backend().name().to_string()),
     ];
     write_bench_json(std::path::Path::new(path), &records, &notes)
         .expect("write BENCH_degraded.json");

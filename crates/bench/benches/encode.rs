@@ -280,6 +280,12 @@ fn main() {
         ("tiling_speedup_64k_hv", tiling("HV_Code")),
         ("tiling_speedup_64k_rdp", tiling("RDP")),
         ("tiling_speedup_64k_evenodd", tiling("EVENODD")),
+        // The machine-readable core count lives here (not in DESIGN.md
+        // prose) so every report carries the hardware it was measured on.
+        (
+            "host_logical_cores",
+            std::thread::available_parallelism().map_or(0, usize::from).to_string(),
+        ),
         (
             "hardware",
             format!(

@@ -8,7 +8,8 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
-use raid_array::RaidVolume;
+use disk_sim::{DiskArray, DiskProfile};
+use raid_array::{replay_write_trace, CacheConfig, RaidVolume};
 use raid_bench::codes::evaluated;
 use raid_bench::report::{write_bench_json, BenchRecord};
 use raid_rs::PqRaid6;
@@ -74,6 +75,23 @@ fn measured_small_write_io(code: &Arc<dyn raid_core::ArrayCode>) -> (u64, u64) {
     worst
 }
 
+/// Total element I/O the Table-II trace costs an HV volume, from the
+/// replay's ledger delta — uncached, or through the write-back stripe
+/// cache (replay flushes before taking the delta, so coalesced flush I/O
+/// is fully accounted).
+fn table2_total_io(cached: bool) -> u64 {
+    let code: Arc<dyn raid_core::ArrayCode> =
+        Arc::new(hv_code::HvCode::new(13).expect("13 is prime"));
+    let mut volume = RaidVolume::in_memory(code, 8, 64);
+    if cached {
+        volume.enable_cache(CacheConfig::default());
+    }
+    let sim = DiskArray::new(volume.disks(), DiskProfile::savvio_10k());
+    let out = replay_write_trace(&mut volume, sim, &raid_workloads::table2_trace())
+        .expect("healthy replay");
+    out.ledger.total()
+}
+
 criterion_group!(benches, bench_volume_update, bench_rs_update);
 
 fn main() {
@@ -104,9 +122,28 @@ fn main() {
         .expect("HV is in the evaluated roster");
     let hv_minimal = io.iter().all(|&(_, (pw, _))| hv_parity <= pw);
 
+    // Table-II trace rerun, uncached vs write-back cached. The reduction
+    // is the coalescing win the cache exists for; gating it here makes
+    // `make bench-smoke` a regression fence.
+    let uncached = table2_total_io(false);
+    let cached = table2_total_io(true);
+    let reduction_pct = 100.0 * (uncached.saturating_sub(cached)) as f64 / uncached as f64;
+    assert!(
+        reduction_pct >= 30.0,
+        "write coalescing regressed: Table-II total element I/O only dropped \
+         {reduction_pct:.1}% ({uncached} -> {cached}), expected >= 30%"
+    );
+
     let mut notes: Vec<(&str, String)> = vec![
         ("element_bytes", ELEMENT.to_string()),
         ("p", "13".to_string()),
+        (
+            "host_logical_cores",
+            std::thread::available_parallelism().map_or(0, usize::from).to_string(),
+        ),
+        ("table2_total_io_uncached", uncached.to_string()),
+        ("table2_total_io_cached", cached.to_string()),
+        ("table2_cache_reduction_pct", format!("{reduction_pct:.1}")),
         (
             "parity_io_semantics",
             "worst-case per single-element write, measured from the volume \
@@ -128,6 +165,7 @@ fn main() {
         .expect("write BENCH_update.json");
     eprintln!(
         "wrote {path} (HV parity writes per small write: {hv_parity}; \
-         minimal among evaluated codes: {hv_minimal})"
+         minimal among evaluated codes: {hv_minimal}; Table-II total I/O \
+         {uncached} uncached -> {cached} cached, -{reduction_pct:.1}%)"
     );
 }

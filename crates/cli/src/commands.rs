@@ -7,8 +7,8 @@ use disk_sim::{DiskArray, DiskProfile};
 use raid_array::mttr::estimate_rebuild;
 use raid_array::reliability::estimate_mttdl;
 use raid_array::{
-    chaos, replay_write_trace, ChaosConfig, DiskBackend, FileBackend, JournalRecovery,
-    MemBackend, RaidVolume, VolumeError, VolumeMeta,
+    chaos, replay_write_trace, CacheConfig, ChaosConfig, DiskBackend, FileBackend,
+    JournalRecovery, MemBackend, RaidVolume, VolumeError, VolumeMeta,
 };
 use raid_core::plan::update::update_complexity;
 use raid_core::schedule::double_failure_schedule;
@@ -31,8 +31,11 @@ commands:
   info      --code <name> [--p 7]          structural summary (Table III style)
   demo      [--p 7] [--dot true]           HV double-failure repair walk-through
                                            (--dot emits Graphviz of the chains)
-  replay    --code <name> --trace <file> [--p 7] [--stripes 8]
-                                           replay an (S,L,F) trace file
+  replay    --code <name> --trace <file> [--p 7] [--stripes 8] [--cache <stripes>]
+                                           replay an (S,L,F) trace file; --cache N
+                                           routes writes through an N-stripe
+                                           write-back cache and reports the
+                                           coalesced flush / eviction counts
   estimate  --code <name> [--p 13] [--stripes 64] [--mttf 1000000]
                                            rebuild times and MTTDL
   batch     --code <name> [--p 13] [--stripes 256] [--element 4096] [--threads 1]
@@ -51,12 +54,14 @@ commands:
                                            (exit 0 clean, 2 repaired, 3 unrecoverable)
   chaos     [--seed N] [--episodes 100] [--backend both|mem] [--dir <dir>]
             [--code hv] [--p 5] [--stripes 4] [--element 16] [--spares 2]
-            [--steps 12] [--sweeps true]
+            [--steps 12] [--sweeps true] [--cache true]
                                            randomized fault-injection campaign (dead
                                            disks, transients, latent sectors, torn
-                                           writes, crash-at-every-journal-point sweeps)
+                                           writes, crash-at-every-journal-point sweeps
+                                           including crash-with-dirty-cache flushes)
                                            verified against a shadow model; any failure
-                                           prints the seed that reproduces it
+                                           prints the seed that reproduces it;
+                                           --cache false disables the write-back cache
   lint      [--code <name>] [--p <prime>] [--all] [--json] [--opt]
             [--min-savings <pct>]
                                            statically verify compiled plans: symbolic
@@ -244,12 +249,19 @@ fn replay(parsed: &Parsed) -> Result<String, String> {
     let (code, p) = code_from(parsed, 7)?;
     let path = parsed.require("trace")?;
     let stripes = parsed.get_or("stripes", 8usize)?;
+    let cache_stripes = parsed.get_or("cache", 0usize)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let trace = parse_trace(&text).map_err(|e| e.to_string())?;
     let mut volume = RaidVolume::in_memory(Arc::clone(&code), stripes, 64);
+    if cache_stripes > 0 {
+        volume.enable_cache(CacheConfig {
+            max_stripes: cache_stripes,
+            dirty_high_water: (cache_stripes * 3 / 4).max(1),
+        });
+    }
     let sim = DiskArray::new(volume.disks(), DiskProfile::savvio_10k());
     let out = replay_write_trace(&mut volume, sim, &trace).map_err(|e| e.to_string())?;
-    Ok(format!(
+    let mut text = format!(
         "{} at p = {p}: replayed '{}' ({} patterns)\n\
          total write requests: {}\n\
          load balancing λ:     {:.2}\n\
@@ -260,7 +272,17 @@ fn replay(parsed: &Parsed) -> Result<String, String> {
         out.total_write_requests(),
         out.lambda(),
         out.mean_latency_ms(),
-    ))
+    );
+    if cache_stripes > 0 {
+        text.push_str(&format!(
+            "\nstripe cache ({cache_stripes} stripes): {} coalesced flushes, \
+             {} evictions, total element I/O {}",
+            out.ledger.cache_flushes(),
+            out.ledger.cache_evictions(),
+            out.ledger.total(),
+        ));
+    }
+    Ok(text)
 }
 
 fn estimate(parsed: &Parsed) -> Result<String, String> {
@@ -620,6 +642,7 @@ fn chaos_campaign(parsed: &Parsed) -> Result<String, String> {
             }
         },
         crash_sweeps: parsed.get_or("sweeps", defaults.crash_sweeps)?,
+        cache: parsed.get_or("cache", defaults.cache)?,
     };
     let scratch = cfg.dir.clone().filter(|_| !parsed.flags.contains_key("dir"));
     let result = chaos::run(&code, &cfg);
@@ -911,6 +934,12 @@ mod tests {
             .unwrap();
         assert!(out.contains("4 patterns"));
         assert!(out.contains("load balancing"));
+        let cached = run_line(&[
+            "replay", "--code", "hv", "--trace", path.to_str().unwrap(), "--cache", "8",
+        ])
+        .unwrap();
+        assert!(cached.contains("stripe cache (8 stripes)"), "{cached}");
+        assert!(cached.contains("coalesced flushes"), "{cached}");
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -152,6 +152,14 @@ pub struct IoLedger {
     /// in the order they occurred, so replay/reports can show what each
     /// failure episode cost.
     transitions: Vec<String>,
+    /// Element reads served from the write-back stripe cache (no disk I/O).
+    cache_hits: u64,
+    /// Element reads the stripe cache had to forward to the disks.
+    cache_misses: u64,
+    /// Coalesced stripe flushes committed by the cache.
+    cache_flushes: u64,
+    /// Stripe-cache entries evicted under the memory budget.
+    cache_evictions: u64,
 }
 
 impl IoLedger {
@@ -164,6 +172,10 @@ impl IoLedger {
             retries: 0,
             latent_repairs: 0,
             transitions: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_flushes: 0,
+            cache_evictions: 0,
         }
     }
 
@@ -219,6 +231,46 @@ impl IoLedger {
     /// Appends a health-state transition to the log.
     pub fn note_transition(&mut self, transition: impl Into<String>) {
         self.transitions.push(transition.into());
+    }
+
+    /// Records `n` element reads served straight from the stripe cache.
+    pub fn note_cache_hits(&mut self, n: u64) {
+        self.cache_hits += n;
+    }
+
+    /// Records `n` element reads the stripe cache forwarded to the disks.
+    pub fn note_cache_misses(&mut self, n: u64) {
+        self.cache_misses += n;
+    }
+
+    /// Records one coalesced stripe flush committed by the cache.
+    pub fn note_cache_flush(&mut self) {
+        self.cache_flushes += 1;
+    }
+
+    /// Records one stripe-cache eviction under the memory budget.
+    pub fn note_cache_eviction(&mut self) {
+        self.cache_evictions += 1;
+    }
+
+    /// Element reads served from the stripe cache so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Element reads the stripe cache forwarded to the disks so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Coalesced stripe flushes committed so far.
+    pub fn cache_flushes(&self) -> u64 {
+        self.cache_flushes
+    }
+
+    /// Stripe-cache evictions so far.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions
     }
 
     /// Operation retries recorded so far.
@@ -304,6 +356,10 @@ impl IoLedger {
         self.retries += other.retries;
         self.latent_repairs += other.latent_repairs;
         self.transitions.extend(other.transitions.iter().cloned());
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_flushes += other.cache_flushes;
+        self.cache_evictions += other.cache_evictions;
     }
 
     /// The ledger's growth since `baseline` (an earlier snapshot of the
@@ -321,23 +377,24 @@ impl IoLedger {
                 .map(|(x, y)| x.checked_sub(*y).expect("baseline is not an earlier snapshot"))
                 .collect()
         };
+        let scalar = |a: u64, b: u64| -> u64 {
+            a.checked_sub(b).expect("baseline is not an earlier snapshot")
+        };
         IoLedger {
             reads: sub(&self.reads, &baseline.reads),
             data_writes: sub(&self.data_writes, &baseline.data_writes),
             parity_writes: sub(&self.parity_writes, &baseline.parity_writes),
-            retries: self
-                .retries
-                .checked_sub(baseline.retries)
-                .expect("baseline is not an earlier snapshot"),
-            latent_repairs: self
-                .latent_repairs
-                .checked_sub(baseline.latent_repairs)
-                .expect("baseline is not an earlier snapshot"),
+            retries: scalar(self.retries, baseline.retries),
+            latent_repairs: scalar(self.latent_repairs, baseline.latent_repairs),
             transitions: self
                 .transitions
                 .get(baseline.transitions.len()..)
                 .expect("baseline is not an earlier snapshot")
                 .to_vec(),
+            cache_hits: scalar(self.cache_hits, baseline.cache_hits),
+            cache_misses: scalar(self.cache_misses, baseline.cache_misses),
+            cache_flushes: scalar(self.cache_flushes, baseline.cache_flushes),
+            cache_evictions: scalar(self.cache_evictions, baseline.cache_evictions),
         }
     }
 
@@ -380,6 +437,13 @@ impl fmt::Display for IoLedger {
         )?;
         if self.retries > 0 || self.latent_repairs > 0 {
             write!(f, " retries={} latent_repairs={}", self.retries, self.latent_repairs)?;
+        }
+        if self.cache_hits > 0 || self.cache_misses > 0 || self.cache_flushes > 0 {
+            write!(
+                f,
+                " cache_hits={} cache_misses={} cache_flushes={} cache_evictions={}",
+                self.cache_hits, self.cache_misses, self.cache_flushes, self.cache_evictions
+            )?;
         }
         Ok(())
     }
@@ -499,6 +563,35 @@ mod tests {
         assert_eq!(b.latent_repairs(), 2);
         assert_eq!(b.transitions().len(), 2);
         assert!(format!("{b}").contains("retries=3"));
+    }
+
+    #[test]
+    fn cache_counters_merge_delta_and_display() {
+        let mut a = IoLedger::new(2);
+        a.note_cache_hits(5);
+        a.note_cache_misses(2);
+        a.note_cache_flush();
+        let snap = a.clone();
+        a.note_cache_hits(1);
+        a.note_cache_eviction();
+        let d = a.delta_since(&snap);
+        assert_eq!(d.cache_hits(), 1);
+        assert_eq!(d.cache_misses(), 0);
+        assert_eq!(d.cache_flushes(), 0);
+        assert_eq!(d.cache_evictions(), 1);
+
+        let mut b = IoLedger::new(2);
+        b.note_cache_flush();
+        b.merge(&a);
+        assert_eq!(b.cache_hits(), 6);
+        assert_eq!(b.cache_misses(), 2);
+        assert_eq!(b.cache_flushes(), 2);
+        assert_eq!(b.cache_evictions(), 1);
+        let shown = format!("{b}");
+        assert!(shown.contains("cache_hits=6"));
+        assert!(shown.contains("cache_evictions=1"));
+        // A ledger that never saw a cache stays terse.
+        assert!(!format!("{}", IoLedger::new(2)).contains("cache"));
     }
 
     #[test]

@@ -66,6 +66,43 @@ pub fn plan_partial_write(layout: &Layout, start: usize, len: usize) -> WritePla
     WritePlan { data_writes, parity_writes }
 }
 
+/// Plans a write of an arbitrary set of data ordinals within one stripe —
+/// the write-back cache's coalesced flush. Unlike [`plan_partial_write`]
+/// the dirty set need not be contiguous: a stripe cache batches every
+/// dirty element it holds for a stripe into one plan, so co-located dirty
+/// elements share their parity writes (the HV shared-parity win).
+///
+/// Ordinals index [`Layout::data_cells`]; duplicates are collapsed and the
+/// plan lists data writes in ascending ordinal order with parities in
+/// first-touch order, exactly like the contiguous planner.
+///
+/// # Panics
+///
+/// Panics if `ordinals` is empty or any ordinal is out of range.
+pub fn plan_batched_write(layout: &Layout, ordinals: &[usize]) -> WritePlan {
+    assert!(!ordinals.is_empty(), "batched write needs at least one dirty element");
+    let data = layout.data_cells();
+    let mut sorted: Vec<usize> = ordinals.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert!(
+        *sorted.last().unwrap() < data.len(),
+        "ordinal {} exceeds {} data elements in stripe",
+        sorted.last().unwrap(),
+        data.len()
+    );
+    let data_writes: Vec<Cell> = sorted.iter().map(|&o| data[o]).collect();
+    let mut parity_writes: Vec<Cell> = Vec::new();
+    for &cell in &data_writes {
+        for p in parity_updates(layout, cell) {
+            if !parity_writes.contains(&p) {
+                parity_writes.push(p);
+            }
+        }
+    }
+    WritePlan { data_writes, parity_writes }
+}
+
 /// How a partial stripe write should source its parity updates.
 ///
 /// * **Rmw** (read-modify-write): read old data + old parities, XOR deltas
@@ -220,6 +257,55 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn overflow_rejected() {
         plan_partial_write(&hv_like(), 3, 2);
+    }
+
+    #[test]
+    fn batched_write_matches_contiguous_planner() {
+        let l = hv_like();
+        for start in 0..l.num_data_cells() {
+            for len in 1..=l.num_data_cells() - start {
+                let ordinals: Vec<usize> = (start..start + len).collect();
+                assert_eq!(
+                    plan_batched_write(&l, &ordinals),
+                    plan_partial_write(&l, start, len)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_write_shares_parities_across_gaps() {
+        let l = hv_like();
+        // Ordinals 0 and 3 are (0,0) and (1,1): different rows, different
+        // horizontal parities, but the SAME vertical chain — one shared
+        // vertical parity write instead of two.
+        let plan = plan_batched_write(&l, &[3, 0, 0]);
+        assert_eq!(plan.data_writes, vec![Cell::new(0, 0), Cell::new(1, 1)]);
+        assert_eq!(plan.parity_writes.len(), 3, "vertical parity must be shared");
+        // Coalesced cost strictly beats two separate single-element writes.
+        let separate: usize = [0usize, 3]
+            .iter()
+            .map(|&o| plan_partial_write(&l, o, 1).total_writes())
+            .sum();
+        assert!(plan.total_writes() < separate);
+    }
+
+    #[test]
+    fn batched_write_cost_composes_with_write_cost() {
+        let l = long_chains();
+        let plan = plan_batched_write(&l, &[0, 2, 4]);
+        let cost = write_cost(&l, &plan);
+        // RMW reads the 3 data + 2 parities; reconstruct reads the 2
+        // untouched data cells.
+        assert_eq!(cost.rmw_reads.len(), 5);
+        assert_eq!(cost.reconstruct_reads.len(), 2);
+        assert_eq!(cost.cheaper, WriteMode::Reconstruct);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dirty element")]
+    fn batched_write_rejects_empty_set() {
+        plan_batched_write(&hv_like(), &[]);
     }
 
     /// 1×7 layout with long chains: d0..d4, p = XOR(all), q = XOR(all).

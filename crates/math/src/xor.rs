@@ -252,23 +252,6 @@ pub fn xor_many_into_scalar(dst: &mut [u8], srcs: &[&[u8]]) {
     scalar::xor_many_into(dst, srcs);
 }
 
-/// Returns the XOR of all sources as a fresh buffer.
-///
-/// Test-only convenience: every call allocates, so hot paths use
-/// [`xor_gather_into`] against a caller-provided buffer instead.
-///
-/// # Panics
-///
-/// Panics if `srcs` is empty or lengths differ.
-#[doc(hidden)]
-#[deprecated(note = "allocates per call; use xor_gather_into with a caller-provided buffer")]
-pub fn xor_all(srcs: &[&[u8]]) -> Vec<u8> {
-    assert!(!srcs.is_empty(), "xor_all: no sources");
-    let mut out = srcs[0].to_vec();
-    xor_many_into(&mut out, &srcs[1..]);
-    out
-}
-
 /// Tile size (bytes) the plan executor uses to keep a working set of
 /// elements resident in L1 while it walks every op of a plan over one
 /// tile before advancing to the next.
@@ -641,12 +624,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn xor_all_and_many() {
+    fn gather_and_many_agree() {
         let a = [1u8, 2, 3];
         let b = [4u8, 5, 6];
         let c = [7u8, 8, 9];
-        let x = xor_all(&[&a, &b, &c]);
+        let mut x = vec![0xFFu8; 3];
+        xor_gather_into(&mut x, &[&a, &b, &c]);
         assert_eq!(x, vec![1 ^ 4 ^ 7, 2 ^ 5 ^ 8, 3 ^ 6 ^ 9]);
         let mut d = vec![0u8; 3];
         xor_many_into(&mut d, &[&a, &b, &c]);

@@ -28,6 +28,7 @@ use raid_core::ArrayCode;
 use crate::backend::{
     DiskBackend, Fault, FaultyBackend, FileBackend, JournalRecovery, MemBackend,
 };
+use crate::cache::CacheConfig;
 use crate::volume::{RaidVolume, VolumeError};
 
 // ---------------------------------------------------------------------------
@@ -87,6 +88,10 @@ pub struct ChaosConfig {
     pub dir: Option<PathBuf>,
     /// Run the crash-at-every-op sweeps (file volumes only).
     pub crash_sweeps: bool,
+    /// Run the episodes over the write-back stripe cache (with a small
+    /// budget so the flush/eviction policy is exercised), and add the
+    /// crash-with-dirty-cache sweep proving coalesced flushes are atomic.
+    pub cache: bool,
 }
 
 impl Default for ChaosConfig {
@@ -100,6 +105,7 @@ impl Default for ChaosConfig {
             spares: 2,
             dir: None,
             crash_sweeps: true,
+            cache: true,
         }
     }
 }
@@ -138,6 +144,10 @@ pub struct ChaosReport {
     pub journal_rollbacks: u64,
     /// Reopens that resumed a rebuild from a checkpoint past stripe 0.
     pub resumed_rebuilds: u64,
+    /// Coalesced stripe flushes committed by the write-back cache.
+    pub cache_flushes: u64,
+    /// Crash points exercised with dirty cached stripes mid-flush.
+    pub dirty_cache_crash_points: u64,
     /// End-of-episode full verifications that passed.
     pub verifications: u64,
 }
@@ -164,10 +174,15 @@ impl fmt::Display for ChaosReport {
             "  faults: {} dead, {} transient, {} latent, {} torn",
             self.faults_dead, self.faults_transient, self.faults_latent, self.faults_torn
         )?;
-        write!(
+        writeln!(
             f,
             "  crashes: {} points, {} journal rollbacks, {} checkpoint resumes",
             self.crash_points, self.journal_rollbacks, self.resumed_rebuilds
+        )?;
+        write!(
+            f,
+            "  cache: {} coalesced flushes, {} dirty-cache crash points",
+            self.cache_flushes, self.dirty_cache_crash_points
         )
     }
 }
@@ -223,6 +238,9 @@ pub fn run(code: &Arc<dyn ArrayCode>, cfg: &ChaosConfig) -> Result<ChaosReport, 
         if cfg.crash_sweeps {
             crash_write_sweep(code, cfg, dir, &mut report)?;
             crash_rebuild_sweep(code, cfg, dir, &mut report)?;
+            if cfg.cache {
+                crash_dirty_cache_sweep(code, cfg, dir, &mut report)?;
+            }
         }
     }
     Ok(report)
@@ -286,6 +304,14 @@ fn run_episode(
         "open volume",
     )?;
     v.set_spares(cfg.spares);
+    if cfg.cache {
+        // A budget smaller than the working set plus a low high-water
+        // mark keeps the flush and eviction policies hot under chaos.
+        v.enable_cache(CacheConfig {
+            max_stripes: cfg.stripes.max(2),
+            dirty_high_water: 2,
+        });
+    }
 
     let es = cfg.element_size;
     let capacity = v.data_elements();
@@ -390,6 +416,13 @@ fn run_episode(
                     receipts_total += receipt.total();
                     shadow[start * es..(start + len) * es].copy_from_slice(&data);
                     report.writes += 1;
+                    if cfg.cache {
+                        // The cache absorbed the write; the armed tear
+                        // fires on the coalesced flush, so force it out
+                        // before the scrub goes looking for it.
+                        let receipt = ctx.check(v.flush(), "flush torn write")?;
+                        receipts_total += receipt.total();
+                    }
                     ctx.check(v.scrub(), "scrub after torn write")?;
                     report.scrubs += 1;
                     if !v.verify_all() {
@@ -412,9 +445,13 @@ fn run_episode(
                 }
             }
             // Pump the background healer (checkpointed, budgeted), or
-            // scrub when healthy.
+            // scrub when healthy. Cached runs sometimes take the explicit
+            // flush barrier instead.
             _ => {
-                if rng.coin() {
+                if cfg.cache && rng.below(3) == 0 {
+                    let receipt = ctx.check(v.flush(), "flush")?;
+                    receipts_total += receipt.total();
+                } else if rng.coin() {
                     let budget = 1 + rng.below(cfg.stripes);
                     let receipt = ctx.check(v.maintain(budget), "maintain")?;
                     receipts_total += receipt.total();
@@ -502,6 +539,7 @@ fn run_episode(
             ledger.total()
         )));
     }
+    report.cache_flushes += ledger.cache_flushes();
     report.verifications += 1;
     report.episodes += 1;
     drop(v);
@@ -718,6 +756,146 @@ fn crash_rebuild_sweep(
     Ok(())
 }
 
+/// Crash-at-every-op sweep over a coalesced dirty-cache flush: several
+/// scattered writes are absorbed by the write-back cache (touching no
+/// disk), then `flush()` pushes each dirty stripe out as one journaled
+/// coalesced op and the process "crashes" at op `k` mid-flush. Reopening
+/// must never expose a torn coalesced flush: per stripe, every dirty
+/// element is atomically all-old or all-new, untouched elements keep the
+/// baseline, and parity stays consistent.
+fn crash_dirty_cache_sweep(
+    code: &Arc<dyn ArrayCode>,
+    cfg: &ChaosConfig,
+    dir: &Path,
+    report: &mut ChaosReport,
+) -> Result<(), ChaosFailure> {
+    let ctx = Episode { cfg, backend: "file", phase: "crash-dirty-cache sweep".to_string() };
+    let layout = code.layout();
+    let epd = cfg.stripes * layout.rows();
+    let es = cfg.element_size;
+    let d = dir.join("crash-cache");
+    let per_stripe = layout.num_data_cells();
+    let capacity = per_stripe * cfg.stripes;
+    let old = baseline(capacity, es, 7);
+    // Scattered dirty extents across two stripes — non-contiguous within
+    // stripe 0 so the flush genuinely coalesces, plus a second stripe so
+    // the flush spans multiple journaled ops.
+    let extents: Vec<(usize, usize)> = vec![
+        (0, 2),
+        (per_stripe.saturating_sub(2).max(3), 2.min(per_stripe)),
+        (per_stripe + 1, 2.min(capacity - per_stripe - 1)),
+    ];
+    let mut want_new = old.clone();
+    let mut dirty = vec![false; capacity];
+    for (i, &(start, len)) in extents.iter().enumerate() {
+        for at in start..start + len {
+            dirty[at] = true;
+            for b in 0..es {
+                want_new[at * es + b] = ((at * es + b) as u8).wrapping_mul(59) ^ (0x11 << i);
+            }
+        }
+    }
+
+    let mut k = 0u64;
+    loop {
+        // Fresh baseline for this crash point.
+        {
+            let be = FileBackend::create(&d, layout.cols(), epd, es)
+                .map_err(|e| ctx.fail(format!("create: {e}")))?;
+            let mut v = ctx.check(
+                RaidVolume::new(Arc::clone(code), cfg.stripes, es, Box::new(be)),
+                "open baseline",
+            )?;
+            ctx.check(v.write(0, &old), "baseline write")?;
+        }
+        // Absorb the writes into the cache, then crash at op k during the
+        // coalesced flush. The budget is generous so nothing flushes early
+        // and every element write below is pure cache traffic.
+        let be = FileBackend::open(&d).map_err(|e| ctx.fail(format!("reopen: {e}")))?;
+        let faulty = FaultyBackend::new(Box::new(be), Vec::new())
+            .with_faults([Fault::CrashAtOp { at_op: k }]);
+        let mut v = ctx.check(
+            RaidVolume::open(Arc::clone(code), Box::new(faulty), false),
+            "open for crash",
+        )?;
+        v.enable_cache(CacheConfig {
+            max_stripes: cfg.stripes + 2,
+            dirty_high_water: cfg.stripes + 2,
+        });
+        let mut absorbed = true;
+        for &(start, len) in &extents {
+            if v.write(start, &want_new[start * es..(start + len) * es]).is_err() {
+                absorbed = false;
+                break;
+            }
+        }
+        let flushed = absorbed && v.flush().is_ok();
+        drop(v);
+        report.crash_points += 1;
+        report.dirty_cache_crash_points += 1;
+
+        // Reopen: journal recovery runs, then the array must be sane.
+        let be = FileBackend::open(&d).map_err(|e| ctx.fail(format!("recover: {e}")))?;
+        if matches!(be.recovered_journal(), Some(JournalRecovery::RolledBack { .. })) {
+            report.journal_rollbacks += 1;
+        }
+        let mut v = ctx.check(
+            RaidVolume::open(Arc::clone(code), Box::new(be), false),
+            "open after crash",
+        )?;
+        let (bytes, _) = ctx.check(v.read(0, capacity), "read after crash")?;
+        if flushed && bytes != want_new {
+            return Err(ctx.fail(format!(
+                "crash point {k}: flush reported success but contents differ"
+            )));
+        }
+        if !flushed {
+            // Per stripe, the coalesced flush is one journaled op: every
+            // dirty element of the stripe must be atomically old or new.
+            for stripe in 0..cfg.stripes {
+                let ords: Vec<usize> = (stripe * per_stripe..(stripe + 1) * per_stripe)
+                    .filter(|&at| dirty[at])
+                    .collect();
+                if ords.is_empty() {
+                    continue;
+                }
+                let all_old = ords
+                    .iter()
+                    .all(|&at| bytes[at * es..(at + 1) * es] == old[at * es..(at + 1) * es]);
+                let all_new = ords.iter().all(|&at| {
+                    bytes[at * es..(at + 1) * es] == want_new[at * es..(at + 1) * es]
+                });
+                if !all_old && !all_new {
+                    return Err(ctx.fail(format!(
+                        "crash point {k}: stripe {stripe} coalesced flush is torn \
+                         (dirty set neither fully old nor fully new)"
+                    )));
+                }
+            }
+            // Untouched elements must be exactly the baseline.
+            for at in (0..capacity).filter(|&at| !dirty[at]) {
+                if bytes[at * es..(at + 1) * es] != old[at * es..(at + 1) * es] {
+                    return Err(ctx.fail(format!(
+                        "crash point {k}: element {at} outside the dirty set changed"
+                    )));
+                }
+            }
+        }
+        if !v.verify_all() {
+            return Err(ctx.fail(format!(
+                "crash point {k}: parity inconsistent after recovery"
+            )));
+        }
+        drop(v);
+        if flushed {
+            break; // the crash point is past the whole flush
+        }
+        k += 1;
+    }
+    let _ = std::fs::remove_dir_all(&d);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,6 +927,20 @@ mod tests {
         assert_eq!(report.episodes, 10);
         assert_eq!(report.verifications, 10);
         assert!(report.writes > 0);
+        assert!(report.cache_flushes > 0, "cached episodes must coalesce flushes");
+    }
+
+    #[test]
+    fn mem_campaign_without_cache_smoke() {
+        let cfg = ChaosConfig {
+            episodes: 4,
+            crash_sweeps: false,
+            cache: false,
+            ..Default::default()
+        };
+        let report = run(&code(), &cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(report.episodes, 4);
+        assert_eq!(report.cache_flushes, 0);
     }
 
     #[test]
@@ -777,6 +969,10 @@ mod tests {
         assert!(report.crash_points > 0);
         assert!(report.journal_rollbacks > 0, "some crash point must roll back");
         assert!(report.resumed_rebuilds > 0, "some crash point must resume");
+        assert!(
+            report.dirty_cache_crash_points > 0,
+            "the dirty-cache sweep must exercise crash points mid-flush"
+        );
         let _ = std::fs::remove_dir_all(dir);
     }
 }

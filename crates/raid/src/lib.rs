@@ -20,7 +20,9 @@
 //! traditional balancing technique the paper contrasts with parity
 //! spreading). [`batch`] runs encode/decode XOR kernels for batches of
 //! independent stripes on scoped worker threads; [`replay`] drives a
-//! volume + simulator pair from workload traces.
+//! volume + simulator pair from workload traces. [`cache`] adds the
+//! write-back stripe cache that coalesces co-located element writes into
+//! single journal-atomic flushes sharing parity I/O.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +31,7 @@ pub mod addr;
 pub mod audit;
 pub mod backend;
 pub mod batch;
+pub mod cache;
 pub mod chaos;
 pub mod health;
 pub mod mttr;
@@ -43,6 +46,7 @@ pub use backend::{
     MemBackend, RebuildCheckpoint, VolumeMeta,
 };
 pub use batch::{encode_batch, rebuild_batch};
+pub use cache::{batched_write_steps, CacheConfig};
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use health::{HealthMonitor, HealthState, RecoveryAction, RetryPolicy};
 pub use pipeline::{DiskAddr, IoPipeline, LoweredOp};

@@ -136,6 +136,10 @@ pub fn replay_write_trace(
         latencies.push(volume.last_op_latency_ms());
         patterns += 1;
     }
+    // A write-back cache may still hold absorbed writes: flush before
+    // taking the delta so the replay's ledger (and the simulator's served
+    // stream) includes the coalesced flush I/O this trace caused.
+    volume.flush()?;
 
     let ledger = volume.ledger().delta_since(&baseline);
     let served = volume
@@ -254,6 +258,32 @@ mod tests {
         assert!(out.mean_efficiency() >= 1.0);
         assert!(out.mean_latency_ms() > 0.0);
         assert!(v.sim().unwrap().is_failed(2));
+    }
+
+    #[test]
+    fn cached_replay_flushes_and_coalesces() {
+        let trace = uniform_write_trace(3, 60, 30, 11);
+        let (mut v, sim) = setup();
+        let uncached = replay_write_trace(&mut v, sim, &trace).unwrap();
+
+        let (mut v, sim) = setup();
+        v.enable_cache(crate::cache::CacheConfig::default());
+        let cached = replay_write_trace(&mut v, sim, &trace).unwrap();
+
+        assert_eq!(cached.patterns, uncached.patterns);
+        assert!(cached.ledger.cache_flushes() > 0, "the replay must flush the cache");
+        assert_eq!(v.cache_dirty_stripes(), 0, "no dirty stripe may outlive the replay");
+        assert!(
+            cached.ledger.total() < uncached.ledger.total(),
+            "coalescing must cut total element I/O ({} vs {})",
+            cached.ledger.total(),
+            uncached.ledger.total()
+        );
+        assert_eq!(
+            cached.served,
+            cached.ledger.per_disk_totals(),
+            "flush I/O must reach the simulator and the ledger identically"
+        );
     }
 
     #[test]

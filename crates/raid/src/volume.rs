@@ -20,12 +20,13 @@ use raid_core::io::IoLedger;
 use raid_core::layout::Layout;
 use raid_core::plan::degraded::{plan_degraded_read, plan_degraded_read_multi};
 use raid_core::plan::single::{plan_single_disk_recovery, SearchStrategy};
-use raid_core::plan::write::{plan_partial_write, write_cost, WriteMode};
+use raid_core::plan::write::{plan_batched_write, plan_partial_write, write_cost, WriteMode};
 use raid_core::{ArrayCode, Cell, ChainId, Stripe, XorPlan};
 
 use crate::addr::Addressing;
 use crate::backend::{DiskBackend, FaultyBackend, MemBackend, RebuildCheckpoint};
 use crate::batch;
+use crate::cache::{batched_write_steps, CacheConfig, StripeCache};
 use crate::health::{HealthMonitor, HealthState, RecoveryAction};
 use crate::pipeline::{DiskAddr, IoPipeline, LoweredOp};
 
@@ -156,6 +157,8 @@ pub struct RaidVolume {
     auto_heal: bool,
     /// The in-flight (checkpointed) background rebuild, if any.
     rebuild_task: Option<RebuildTask>,
+    /// The write-back stripe cache, when enabled.
+    cache: Option<StripeCache>,
 }
 
 /// In-memory mirror of the persisted [`RebuildCheckpoint`].
@@ -303,6 +306,7 @@ impl RaidVolume {
             spares: 0,
             auto_heal: true,
             rebuild_task: None,
+            cache: None,
         };
         volume.resume_rebuild_checkpoint()?;
         volume.note_health();
@@ -512,6 +516,48 @@ impl RaidVolume {
     /// [`FaultyBackend`] (chaos/test hook).
     pub fn backend_faulty_mut(&mut self) -> Option<&mut FaultyBackend> {
         self.pipeline.backend_mut().as_faulty_mut()
+    }
+
+    /// Enables the write-back stripe cache. Subsequent writes are
+    /// absorbed in memory and flushed coalesced per stripe (see
+    /// [`CacheConfig`] for the policy knobs); reads become read-through
+    /// cached. Call [`RaidVolume::flush`] for an explicit write barrier —
+    /// dropping the volume flushes best-effort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache is already enabled.
+    pub fn enable_cache(&mut self, cfg: CacheConfig) {
+        assert!(self.cache.is_none(), "cache already enabled");
+        self.cache =
+            Some(StripeCache::new(cfg, self.addressing.data_per_stripe(), self.element_size));
+    }
+
+    /// Flushes and removes the stripe cache, returning the flush I/O.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolumeError`] if the final flush cannot be served; the
+    /// cache stays enabled with its dirty data intact.
+    pub fn disable_cache(&mut self) -> Result<IoLedger, VolumeError> {
+        let receipt = self.flush()?;
+        self.cache = None;
+        Ok(receipt)
+    }
+
+    /// True when the write-back stripe cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Stripes resident in the cache (dirty or clean); 0 without a cache.
+    pub fn cache_resident_stripes(&self) -> usize {
+        self.cache.as_ref().map_or(0, StripeCache::len)
+    }
+
+    /// Stripes with unflushed dirty data; 0 without a cache.
+    pub fn cache_dirty_stripes(&self) -> usize {
+        self.cache.as_ref().map_or(0, StripeCache::dirty_count)
     }
 
     /// Re-derives the health state from the failed-disk count, recording
@@ -775,6 +821,9 @@ impl RaidVolume {
         }
         self.check_range(start, len)?;
         self.pipeline.begin_op();
+        if self.cache.is_some() {
+            return self.write_cached(start, len, data);
+        }
         let mut attempts = 0usize;
         loop {
             attempts += 1;
@@ -795,6 +844,296 @@ impl RaidVolume {
                 }
             }
         }
+    }
+
+    /// Absorbs a write into the stripe cache (no disk I/O), then enforces
+    /// the flush policy: flush LRU dirty stripes down to the high-water
+    /// mark, then evict down to the memory budget. The returned ledger
+    /// holds only the I/O the policy actually issued.
+    fn write_cached(
+        &mut self,
+        start: usize,
+        len: usize,
+        data: &[u8],
+    ) -> Result<IoLedger, VolumeError> {
+        let mut offset = 0usize;
+        for seg in self.addressing.split(start, len) {
+            let cache = self.cache.as_mut().expect("cached write needs a cache");
+            let entry = cache.ensure(seg.stripe);
+            for k in 0..seg.len {
+                let at = (offset + k) * self.element_size;
+                entry.write(seg.start + k, &data[at..at + self.element_size]);
+            }
+            offset += seg.len;
+        }
+
+        let mut receipt = IoLedger::new(self.disks());
+        let high_water = self.cache.as_ref().expect("cache enabled").config().dirty_high_water;
+        while self.cache.as_ref().expect("cache enabled").dirty_count() > high_water {
+            let stripe = self
+                .cache
+                .as_ref()
+                .expect("cache enabled")
+                .oldest_dirty()
+                .expect("dirty_count > 0 implies a dirty stripe");
+            receipt.merge(&self.flush_stripe(stripe)?);
+        }
+        receipt.merge(&self.enforce_cache_budget()?);
+        self.health.note_op_ok();
+        Ok(receipt)
+    }
+
+    /// Evicts least-recently-used entries until the cache fits its
+    /// memory budget, preferring clean entries (free) and flushing dirty
+    /// ones first when nothing clean is left.
+    fn enforce_cache_budget(&mut self) -> Result<IoLedger, VolumeError> {
+        let mut receipt = IoLedger::new(self.disks());
+        loop {
+            let cache = self.cache.as_ref().expect("cache enabled");
+            if cache.len() <= cache.config().max_stripes {
+                return Ok(receipt);
+            }
+            let victim = match cache.oldest_clean() {
+                Some(s) => s,
+                None => {
+                    let s = cache.oldest().expect("over budget implies entries");
+                    receipt.merge(&self.flush_stripe(s)?);
+                    s
+                }
+            };
+            self.cache.as_mut().expect("cache enabled").remove(victim);
+            self.pipeline.ledger_mut().note_cache_eviction();
+            receipt.note_cache_eviction();
+        }
+    }
+
+    /// Flushes every dirty stripe as one coalesced op each — the explicit
+    /// write barrier (also run on drop). A no-op without a cache or dirty
+    /// data. Flushed entries stay resident as clean read cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolumeError`] if a flush cannot be served; the affected
+    /// stripe's dirty data stays in the cache for a later retry.
+    pub fn flush(&mut self) -> Result<IoLedger, VolumeError> {
+        let mut receipt = IoLedger::new(self.disks());
+        if self.cache.is_none() {
+            return Ok(receipt);
+        }
+        self.pipeline.begin_op();
+        for stripe in self.cache.as_ref().expect("cache enabled").dirty_stripes() {
+            receipt.merge(&self.flush_stripe(stripe)?);
+        }
+        Ok(receipt)
+    }
+
+    /// Flushes one stripe's dirty elements as a single coalesced lowered
+    /// op (healthy) or a decode-patch-reencode pair (degraded), with the
+    /// volume's standard retry/recovery policy. On success the entry is
+    /// marked clean and stays resident; on error the dirty data is
+    /// preserved in the cache.
+    fn flush_stripe(&mut self, stripe: usize) -> Result<IoLedger, VolumeError> {
+        let Some(entry) = self.cache.as_mut().expect("cache enabled").take(stripe) else {
+            return Ok(IoLedger::new(self.disks()));
+        };
+        if !entry.is_dirty() {
+            self.cache.as_mut().expect("cache enabled").put_back(stripe, entry);
+            return Ok(IoLedger::new(self.disks()));
+        }
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            let attempt = if self.failed.is_empty() {
+                self.try_flush_healthy(stripe, &entry)
+            } else {
+                self.try_flush_degraded(stripe, &entry)
+            };
+            match attempt {
+                Ok(receipt) => {
+                    let mut entry = entry;
+                    entry.mark_clean();
+                    self.cache.as_mut().expect("cache enabled").put_back(stripe, entry);
+                    self.pipeline.ledger_mut().note_cache_flush();
+                    self.health.note_op_ok();
+                    let mut receipt = receipt;
+                    receipt.note_cache_flush();
+                    return Ok(receipt);
+                }
+                Err(VolumeError::Backend(e)) if attempts < MAX_OP_ATTEMPTS => {
+                    if let Err(fatal) = self.recover(e) {
+                        self.cache.as_mut().expect("cache enabled").put_back(stripe, entry);
+                        return Err(fatal);
+                    }
+                }
+                Err(e) => {
+                    self.cache.as_mut().expect("cache enabled").put_back(stripe, entry);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One healthy coalesced-flush attempt: every dirty element of the
+    /// stripe batched into **one** lowered op through the batched write
+    /// planner, so co-located dirty elements share parity I/O and the
+    /// whole flush commits atomically under the pipeline's undo journal.
+    ///
+    /// Mode selection is cache-aware: reconstruct-mode source reads whose
+    /// data is resident **clean** in the cache are filled from memory
+    /// instead of disk (counted as cache hits), which can flip the
+    /// RMW/reconstruct decision in reconstruct's favor.
+    fn try_flush_healthy(
+        &mut self,
+        stripe: usize,
+        entry: &crate::cache::StripeEntry,
+    ) -> Result<IoLedger, VolumeError> {
+        let code = Arc::clone(&self.code);
+        let layout = code.layout();
+        let rows = layout.rows();
+        let data_cells = layout.data_cells();
+        let dirty = entry.dirty_ordinals();
+        let plan = plan_batched_write(layout, &dirty);
+        let cost = write_cost(layout, &plan);
+
+        // Split reconstruct reads into cache fills (clean resident data)
+        // and true disk reads.
+        let mut cache_fills: Vec<(usize, Cell)> = Vec::new();
+        let mut recon_disk_reads: Vec<Cell> = Vec::new();
+        for &c in &cost.reconstruct_reads {
+            match data_cells.iter().position(|&d| d == c) {
+                Some(ord) if entry.is_clean(ord) => cache_fills.push((ord, c)),
+                _ => recon_disk_reads.push(c),
+            }
+        }
+        let mode = if cost.reconstruct_reads.is_empty() {
+            WriteMode::FullStripe
+        } else if recon_disk_reads.len() < cost.rmw_reads.len() {
+            WriteMode::Reconstruct
+        } else {
+            WriteMode::Rmw
+        };
+
+        // Scratch: old values in the lower half, new values above.
+        let up = |c: Cell| Cell::new(c.row + rows, c.col);
+        let mut scratch = Stripe::zeroed(2 * rows, layout.cols(), self.element_size);
+        for (&ord, &cell) in dirty.iter().zip(&plan.data_writes) {
+            scratch.set_element(up(cell), entry.element(ord));
+        }
+        let reads: &[Cell] = match mode {
+            WriteMode::Rmw => &cost.rmw_reads,
+            WriteMode::Reconstruct | WriteMode::FullStripe => {
+                // Cache-resident old values land in the lower half just as
+                // if they had been read.
+                for &(ord, cell) in &cache_fills {
+                    scratch.set_element(cell, entry.element(ord));
+                }
+                &recon_disk_reads
+            }
+        };
+
+        let steps = batched_write_steps(layout, &plan, mode);
+        let op = LoweredOp {
+            reads: reads.iter().map(|&c| (c, self.addr_of(stripe, c))).collect(),
+            plan: Some(
+                XorPlan::from_steps(
+                    2 * rows,
+                    layout.cols(),
+                    steps.iter().map(|(t, s)| (*t, s.as_slice())),
+                )
+                .optimized(),
+            ),
+            data_writes: plan
+                .data_writes
+                .iter()
+                .map(|&c| (up(c), self.addr_of(stripe, c)))
+                .collect(),
+            parity_writes: plan
+                .parity_writes
+                .iter()
+                .map(|&c| (up(c), self.addr_of(stripe, c)))
+                .collect(),
+        };
+        let mut receipt = IoLedger::new(self.disks());
+        let rs = self.pipeline.execute(&op, &mut scratch)?;
+        receipt.absorb(&rs);
+        if mode != WriteMode::Rmw && !cache_fills.is_empty() {
+            let n = cache_fills.len() as u64;
+            self.pipeline.ledger_mut().note_cache_hits(n);
+            receipt.note_cache_hits(n);
+        }
+        Ok(receipt)
+    }
+
+    /// One degraded coalesced-flush attempt, mirroring the degraded write
+    /// path: op A decodes the stripe from every surviving element, the
+    /// dirty elements are patched into the decoded image, op B re-encodes
+    /// and rewrites the surviving columns in one (journal-atomic) op.
+    fn try_flush_degraded(
+        &mut self,
+        stripe: usize,
+        entry: &crate::cache::StripeEntry,
+    ) -> Result<IoLedger, VolumeError> {
+        if self.failed.len() > 2 {
+            return Err(VolumeError::TooManyFailures { failed: self.failed.len() });
+        }
+        let code = Arc::clone(&self.code);
+        let layout = code.layout();
+        let failed_cols = self.failed_cols(stripe);
+        let lost: Vec<Cell> =
+            failed_cols.iter().flat_map(|&c| layout.cells_in_col(c)).collect();
+
+        let mut reads = Vec::new();
+        for col in 0..layout.cols() {
+            if failed_cols.contains(&col) {
+                continue;
+            }
+            for cell in layout.cells_in_col(col) {
+                reads.push((cell, self.addr_of(stripe, cell)));
+            }
+        }
+        let decode_plan = decoder::plan_decode(layout, &lost)
+            .expect("RAID-6 code repairs up to two columns");
+        let fetch = LoweredOp {
+            reads,
+            plan: Some(XorPlan::compile_decode(layout, &decode_plan).optimized()),
+            ..Default::default()
+        };
+        let mut scratch = Stripe::for_layout(layout, self.element_size);
+        let mut receipt = IoLedger::new(self.disks());
+        let rs = self.pipeline.execute(&fetch, &mut scratch)?;
+        receipt.absorb(&rs);
+
+        let data_cells = layout.data_cells();
+        let dirty = entry.dirty_ordinals();
+        for &ord in &dirty {
+            scratch.set_element(data_cells[ord], entry.element(ord));
+        }
+
+        let mut data_writes = Vec::new();
+        for &ord in &dirty {
+            let cell = data_cells[ord];
+            if !failed_cols.contains(&cell.col) {
+                data_writes.push((cell, self.addr_of(stripe, cell)));
+            }
+        }
+        let mut parity_writes = Vec::new();
+        for col in 0..layout.cols() {
+            if failed_cols.contains(&col) {
+                continue;
+            }
+            for parity in layout.parities_in_col(col) {
+                parity_writes.push((parity, self.addr_of(stripe, parity)));
+            }
+        }
+        let store = LoweredOp {
+            reads: Vec::new(),
+            plan: Some(layout.encode_plan().clone()),
+            data_writes,
+            parity_writes,
+        };
+        let rs = self.pipeline.execute(&store, &mut scratch)?;
+        receipt.absorb(&rs);
+        Ok(receipt)
     }
 
     /// One healthy-write attempt: every segment lowers to a single
@@ -826,36 +1165,7 @@ impl RaidVolume {
                 scratch.set_element(up(cell), &data[at..at + self.element_size]);
             }
 
-            let touched =
-                |m: &Cell| plan.data_writes.contains(m) || plan.parity_writes.contains(m);
-            let steps: Vec<(Cell, Vec<Cell>)> = ordered_parities(layout, &plan.parity_writes)
-                .into_iter()
-                .map(|p| {
-                    let chain = layout.chain(layout.chain_of_parity(p).expect("parity owns chain"));
-                    let mut srcs = Vec::new();
-                    match cost.cheaper {
-                        // New parity = old parity XOR (old ⊕ new) of every
-                        // touched member.
-                        WriteMode::Rmw => {
-                            srcs.push(p);
-                            for m in &chain.members {
-                                if touched(m) {
-                                    srcs.push(*m);
-                                    srcs.push(up(*m));
-                                }
-                            }
-                        }
-                        // New parity = XOR of members' new values; untouched
-                        // members contribute their (read) old value.
-                        WriteMode::Reconstruct | WriteMode::FullStripe => {
-                            for m in &chain.members {
-                                srcs.push(if touched(m) { up(*m) } else { *m });
-                            }
-                        }
-                    }
-                    (up(p), srcs)
-                })
-                .collect();
+            let steps = batched_write_steps(layout, &plan, cost.cheaper);
 
             let op = LoweredOp {
                 reads: reads.iter().map(|&c| (c, self.addr_of(seg.stripe, c))).collect(),
@@ -974,6 +1284,19 @@ impl RaidVolume {
     pub fn read(&mut self, start: usize, len: usize) -> Result<(Vec<u8>, IoLedger), VolumeError> {
         self.check_range(start, len)?;
         self.pipeline.begin_op();
+        if self.cache.is_some() {
+            return self.read_cached(start, len);
+        }
+        self.read_retrying(start, len)
+    }
+
+    /// The uncached read loop: one [`RaidVolume::try_read`] attempt per
+    /// recovery-policy round.
+    fn read_retrying(
+        &mut self,
+        start: usize,
+        len: usize,
+    ) -> Result<(Vec<u8>, IoLedger), VolumeError> {
         let mut attempts = 0usize;
         loop {
             attempts += 1;
@@ -989,6 +1312,76 @@ impl RaidVolume {
                 }
             }
         }
+    }
+
+    /// A read through the stripe cache: resident elements (dirty or
+    /// clean) are served from memory as hits; missing runs go through the
+    /// normal (possibly degraded) read path and populate the cache
+    /// read-through as clean copies. Dirty elements are always served
+    /// from the cache — the disks hold their pre-flush values.
+    fn read_cached(
+        &mut self,
+        start: usize,
+        len: usize,
+    ) -> Result<(Vec<u8>, IoLedger), VolumeError> {
+        let es = self.element_size;
+        let per = self.addressing.data_per_stripe();
+        let mut out = vec![0u8; len * es];
+        let mut receipt = IoLedger::new(self.disks());
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut offset = 0usize;
+        for seg in self.addressing.split(start, len) {
+            self.cache.as_mut().expect("cached read needs a cache").promote(seg.stripe);
+            let mut k = 0usize;
+            while k < seg.len {
+                let resident = |v: &Self, i: usize| {
+                    v.cache
+                        .as_ref()
+                        .expect("cache enabled")
+                        .get(seg.stripe)
+                        .is_some_and(|e| e.is_present(seg.start + i))
+                };
+                if resident(self, k) {
+                    let entry = self
+                        .cache
+                        .as_ref()
+                        .expect("cache enabled")
+                        .get(seg.stripe)
+                        .expect("resident implies entry");
+                    let at = (offset + k) * es;
+                    out[at..at + es].copy_from_slice(entry.element(seg.start + k));
+                    hits += 1;
+                    k += 1;
+                    continue;
+                }
+                // A run of non-resident elements: fetch through the
+                // normal lowering, then fill the cache read-through.
+                let run_start = k;
+                while k < seg.len && !resident(self, k) {
+                    k += 1;
+                }
+                let run_len = k - run_start;
+                let linear = seg.stripe * per + seg.start + run_start;
+                let (bytes, rs) = self.read_retrying(linear, run_len)?;
+                let at = (offset + run_start) * es;
+                out[at..at + run_len * es].copy_from_slice(&bytes);
+                receipt.merge(&rs);
+                misses += run_len as u64;
+                let entry =
+                    self.cache.as_mut().expect("cache enabled").ensure(seg.stripe);
+                for i in 0..run_len {
+                    entry.fill(seg.start + run_start + i, &bytes[i * es..(i + 1) * es]);
+                }
+            }
+            offset += seg.len;
+        }
+        self.pipeline.ledger_mut().note_cache_hits(hits);
+        self.pipeline.ledger_mut().note_cache_misses(misses);
+        receipt.note_cache_hits(hits);
+        receipt.note_cache_misses(misses);
+        receipt.merge(&self.enforce_cache_budget()?);
+        Ok((out, receipt))
     }
 
     fn try_read(&mut self, start: usize, len: usize) -> Result<(Vec<u8>, IoLedger), VolumeError> {
@@ -1573,6 +1966,17 @@ impl RaidVolume {
     /// disk cannot serve the tampering.
     pub fn inject_corruption(&mut self, stripe: usize, cell: Cell, byte: usize) {
         assert!(stripe < self.stripes, "stripe out of range");
+        // Tampering changes the disks behind the cache's back: a clean
+        // cached copy of the cell no longer matches and must be dropped
+        // (a dirty copy still supersedes the disks and stays).
+        if let Some(cache) = &mut self.cache {
+            let ord = self.code.layout().data_cells().iter().position(|&c| c == cell);
+            if let (Some(ord), Some(entry)) = (ord, cache.take(stripe)) {
+                let mut entry = entry;
+                entry.invalidate_clean(ord);
+                cache.put_back(stripe, entry);
+            }
+        }
         let a = self.addr_of(stripe, cell);
         let mut buf = vec![0u8; self.element_size];
         self.pipeline
@@ -1595,28 +1999,16 @@ impl RaidVolume {
     }
 }
 
-/// Orders parity cells so that no parity is emitted before a pending
-/// parity that appears among its chain members (parity-into-parity
-/// cascades, e.g. RDP).
-fn ordered_parities(layout: &Layout, parities: &[Cell]) -> Vec<Cell> {
-    let mut pending: Vec<Cell> = parities.to_vec();
-    let mut ordered = Vec::with_capacity(pending.len());
-    while !pending.is_empty() {
-        let mut progressed = false;
-        let mut next = Vec::new();
-        for &p in &pending {
-            let chain = layout.chain(layout.chain_of_parity(p).expect("parity owns chain"));
-            if chain.members.iter().any(|m| pending.contains(m) && *m != p) {
-                next.push(p);
-            } else {
-                ordered.push(p);
-                progressed = true;
-            }
+impl Drop for RaidVolume {
+    /// Best-effort drop barrier: dirty cached stripes are flushed so a
+    /// clean shutdown loses nothing. Errors are swallowed — a crashed
+    /// backend cannot accept the flush, and the undo journal already
+    /// guarantees no *partial* flush is visible after reopen.
+    fn drop(&mut self) {
+        if self.cache.as_ref().is_some_and(|c| c.dirty_count() > 0) {
+            let _ = self.flush();
         }
-        assert!(progressed, "cyclic parity dependency during write");
-        pending = next;
     }
-    ordered
 }
 
 #[cfg(test)]
@@ -2067,6 +2459,148 @@ mod tests {
         assert_eq!(bytes, data);
         assert!(v.rebuild_progress().is_none(), "checkpoint cleared on completion");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cached_writes_coalesce_parity_io() {
+        // N separate writes into one stripe: uncached pays N parity
+        // updates, the cache pays one coalesced flush.
+        let mut plain = volume(false);
+        let mut cached = volume(false);
+        cached.enable_cache(CacheConfig::default());
+        let per = plain.addressing.data_per_stripe();
+        let n = per.min(6);
+        for k in 0..n {
+            let buf = pattern(16, k as u8);
+            plain.write(k, &buf).unwrap();
+            cached.write(k, &buf).unwrap();
+        }
+        assert_eq!(cached.ledger().total(), 0, "writes absorbed, no I/O yet");
+        assert_eq!(cached.cache_dirty_stripes(), 1);
+        cached.flush().unwrap();
+        assert_eq!(cached.cache_dirty_stripes(), 0);
+        assert_eq!(cached.ledger().cache_flushes(), 1);
+        assert!(
+            cached.ledger().total() < plain.ledger().total(),
+            "coalesced flush ({}) must beat {} per-element RMWs ({})",
+            cached.ledger().total(),
+            n,
+            plain.ledger().total()
+        );
+        assert!(cached.verify_all(), "flush must leave parity consistent");
+        let (a, _) = plain.read(0, n).unwrap();
+        let (b, _) = cached.read(0, n).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_reads_hit_after_population() {
+        let mut v = volume(false);
+        let data = pattern(8 * 16, 3);
+        v.write(0, &data).unwrap();
+        v.enable_cache(CacheConfig::default());
+        let (bytes, r1) = v.read(0, 8).unwrap();
+        assert_eq!(bytes, data);
+        assert_eq!(r1.cache_misses(), 8);
+        let before = v.ledger().total_reads();
+        let (bytes, r2) = v.read(0, 8).unwrap();
+        assert_eq!(bytes, data);
+        assert_eq!(r2.cache_hits(), 8);
+        assert_eq!(r2.cache_misses(), 0);
+        assert_eq!(v.ledger().total_reads(), before, "hits issue no disk reads");
+        // Dirty data is served from the cache before any flush.
+        let patch = pattern(16, 77);
+        v.write(2, &patch).unwrap();
+        let (bytes, _) = v.read(2, 1).unwrap();
+        assert_eq!(bytes, patch);
+    }
+
+    #[test]
+    fn high_water_and_budget_policies_flush_and_evict() {
+        let mut v = volume(false);
+        v.enable_cache(CacheConfig { max_stripes: 2, dirty_high_water: 1 });
+        let per = v.addressing.data_per_stripe();
+        let mut expect = vec![0u8; v.data_elements() * 16];
+        for s in 0..4 {
+            let buf = pattern(16, 100 + s as u8);
+            v.write(s * per, &buf).unwrap();
+            expect[s * per * 16..s * per * 16 + 16].copy_from_slice(&buf);
+            assert!(v.cache_dirty_stripes() <= 1, "high-water mark enforced");
+            assert!(v.cache_resident_stripes() <= 2, "memory budget enforced");
+        }
+        v.flush().unwrap();
+        assert!(v.ledger().cache_flushes() >= 3);
+        assert!(v.ledger().cache_evictions() >= 2);
+        assert!(v.verify_all());
+        let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(bytes, expect);
+    }
+
+    #[test]
+    fn degraded_cached_flush_and_read_serve_true_bytes() {
+        for failures in [vec![3usize], vec![0, 4]] {
+            let mut v = volume(false);
+            let initial = pattern(v.data_elements() * 16, 51);
+            v.write(0, &initial).unwrap();
+            for &d in &failures {
+                v.fail_disk(d).unwrap();
+            }
+            v.enable_cache(CacheConfig::default());
+            let patch = pattern(9 * 16, 201);
+            v.write(5, &patch).unwrap();
+            // Unflushed dirty data is already visible through the cache.
+            let (now, _) = v.read(5, 9).unwrap();
+            assert_eq!(now, patch, "failures {failures:?}");
+            v.flush().unwrap();
+            v.rebuild().unwrap();
+            assert!(v.verify_all(), "failures {failures:?}");
+            let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+            let mut expect = initial.clone();
+            expect[5 * 16..14 * 16].copy_from_slice(&patch);
+            assert_eq!(bytes, expect, "failures {failures:?}");
+        }
+    }
+
+    #[test]
+    fn drop_flushes_dirty_cache_to_file_backend() {
+        use crate::backend::FileBackend;
+        let dir = std::env::temp_dir().join(format!("hvraid-cachedrop-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(7).unwrap());
+        let rows = code.layout().rows();
+        let data = pattern(10 * 16, 91);
+        {
+            let be = FileBackend::create(&dir, code.layout().cols(), 4 * rows, 16).unwrap();
+            let mut v = RaidVolume::new(Arc::clone(&code), 4, 16, Box::new(be)).unwrap();
+            v.enable_cache(CacheConfig::default());
+            v.write(3, &data).unwrap();
+            assert!(v.cache_dirty_stripes() > 0, "write-back defers the flush");
+            // No explicit flush: the drop barrier must write it out.
+        }
+        let be = FileBackend::open(&dir).unwrap();
+        let mut v = RaidVolume::open(code, Box::new(be), false).unwrap();
+        assert!(v.verify_all());
+        let (bytes, _) = v.read(3, 10).unwrap();
+        assert_eq!(bytes, data, "dropped volume must have flushed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_invalidates_clean_cached_copies() {
+        let mut v = volume(false);
+        let data = pattern(v.data_elements() * 16, 63);
+        v.write(0, &data).unwrap();
+        v.enable_cache(CacheConfig::default());
+        let (_, _) = v.read(0, v.data_elements()).unwrap(); // populate
+        let cell = v.code().layout().data_cells()[0];
+        v.inject_corruption(0, cell, 5);
+        // Scrub heals the disks; the invalidated cache entry must re-read
+        // the healed value instead of serving a stale clean copy.
+        let findings = v.scrub().unwrap();
+        assert_eq!(findings.len(), 1);
+        let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(bytes, data);
+        assert!(v.verify_all());
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Symbolic proof that coalesced write-back cache flushes are correct.
+//!
+//! The stripe cache (`raid_array::cache`) flushes a dirty stripe as one
+//! `LoweredOp` whose XOR program is built by
+//! [`raid_array::batched_write_steps`] over a **double-height** grid:
+//! rows `0..R` hold the stripe's *old* element values, and the upper
+//! half holds the *new* values — `up(m)` for each dirty data cell `m` is
+//! preset from the cache, and each touched parity `p` is computed into
+//! `up(p)`. This module proves, in the same GF(2) symbolic domain as
+//! [`crate::plan_check`], that for every touched parity the optimized
+//! flush program computes exactly the right linear combination:
+//!
+//! * **RMW**: `up(p) = p ⊕ Σ_dirty (m ⊕ up(m))` — the incremental
+//!   parity-delta identity, with cascaded parities (a chain whose member
+//!   is itself an updated parity) folded in recursively;
+//! * **Reconstruct / full-stripe**: `up(p) = Σ_members (dirty ? up(m) : m)`
+//!   — direct re-encode from the post-write stripe.
+//!
+//! Equality against the independently-derived expectation also proves
+//! the program never reads an *uninitialized* upper-half scratch cell:
+//! any such read would leak a basis vector the expectation cannot
+//! contain. Both the raw step list and its `xopt`-optimized form are
+//! checked, so a failure localizes blame to the step builder or the
+//! optimizer.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use raid_array::batched_write_steps;
+use raid_core::plan::write::{plan_batched_write, WriteMode, WritePlan};
+use raid_core::{Cell, Layout, XorPlan};
+
+use crate::symbolic::{SymExpr, SymState};
+
+/// A failed coalesced-flush proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoalesceError {
+    /// Write mode under which the flush program was compiled.
+    pub mode: WriteMode,
+    /// Dirty data ordinals of the failing flush.
+    pub ordinals: Vec<usize>,
+    /// Which compiled form failed (`"steps"` or `"optimized"`).
+    pub stage: &'static str,
+    /// Parity cell whose computed value deviates.
+    pub parity: Cell,
+    /// The symbolic equation, rendered.
+    pub detail: String,
+}
+
+impl fmt::Display for CoalesceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "coalesced flush ({:?}, dirty {:?}, {} form) computes the wrong \
+             value for parity {}: {}",
+            self.mode, self.ordinals, self.stage, self.parity, self.detail
+        )
+    }
+}
+
+impl std::error::Error for CoalesceError {}
+
+/// The independently-derived expected expression for every touched
+/// parity's `up(p)` slot, in cascade (dependency) order.
+///
+/// Seeded with `up(m)` for each dirty data cell, then each parity whose
+/// touched members are all resolved is folded in — the same dependency
+/// order the step builder must discover, but derived here from the chain
+/// declarations alone.
+fn expected_exprs(layout: &Layout, plan: &WritePlan, mode: WriteMode) -> Vec<(Cell, SymExpr)> {
+    let (rows, cols) = (layout.rows(), layout.cols());
+    let nbasis = 2 * rows * cols;
+    let var = |c: Cell| SymExpr::basis(nbasis, c.index(cols));
+    let up = |c: Cell| Cell::new(c.row + rows, c.col);
+
+    // New values known so far: dirty data first, parities as they resolve.
+    let mut new: BTreeMap<Cell, SymExpr> = plan
+        .data_writes
+        .iter()
+        .map(|&m| (m, var(up(m))))
+        .collect();
+    let mut pending = plan.parity_writes.clone();
+    let mut out = Vec::with_capacity(pending.len());
+    while !pending.is_empty() {
+        let ready = pending
+            .iter()
+            .position(|&p| {
+                let chain = layout.chain(layout.chain_of_parity(p).expect("parity owns a chain"));
+                chain
+                    .members
+                    .iter()
+                    .all(|m| !plan.parity_writes.contains(m) || new.contains_key(m))
+            })
+            .expect("parity update dependencies form a cycle");
+        let p = pending.remove(ready);
+        let chain = layout.chain(layout.chain_of_parity(p).expect("parity owns a chain"));
+        let mut acc = SymExpr::zero(nbasis);
+        match mode {
+            WriteMode::Rmw => {
+                acc.xor_assign(&var(p));
+                for m in &chain.members {
+                    if let Some(newer) = new.get(m) {
+                        acc.xor_assign(&var(*m));
+                        acc.xor_assign(newer);
+                    }
+                }
+            }
+            WriteMode::Reconstruct | WriteMode::FullStripe => {
+                for m in &chain.members {
+                    match new.get(m) {
+                        Some(newer) => acc.xor_assign(newer),
+                        None => acc.xor_assign(&var(*m)),
+                    }
+                }
+            }
+        }
+        new.insert(p, acc.clone());
+        out.push((p, acc));
+    }
+    out
+}
+
+/// Proves one coalesced flush: the step list for `ordinals` under `mode`,
+/// and its optimized form, both compute every touched parity's expected
+/// expression over the double-height grid.
+///
+/// # Errors
+///
+/// Returns the first deviating parity with its symbolic equation.
+///
+/// # Panics
+///
+/// Panics if `ordinals` is empty or out of range for the layout (caller
+/// bug, mirroring `plan_batched_write`).
+pub fn prove_batched_flush(
+    layout: &Layout,
+    ordinals: &[usize],
+    mode: WriteMode,
+) -> Result<(), CoalesceError> {
+    let (rows, cols) = (layout.rows(), layout.cols());
+    let plan = plan_batched_write(layout, ordinals);
+    let expected = expected_exprs(layout, &plan, mode);
+    let steps = batched_write_steps(layout, &plan, mode);
+    let raw = XorPlan::from_steps(2 * rows, cols, steps.iter().map(|(t, s)| (*t, s.as_slice())));
+    let opt = raw.clone().optimized();
+
+    for (stage, compiled) in [("steps", &raw), ("optimized", &opt)] {
+        let mut state = SymState::identity(2 * rows, cols);
+        state.execute(compiled).expect("shape fixed by construction");
+        for (p, want) in &expected {
+            let up_p = Cell::new(p.row + rows, p.col);
+            let got = state.expr(up_p);
+            if got != want {
+                let n = 2 * rows * cols;
+                return Err(CoalesceError {
+                    mode,
+                    ordinals: ordinals.to_vec(),
+                    stage,
+                    parity: *p,
+                    detail: format!(
+                        "computed {} but the write algebra requires {}",
+                        got.render(cols, n),
+                        want.render(cols, n)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Dirty-ordinal subsets worth proving for a layout: the boundary
+/// singletons, a gapped pair (parity sharing across a hole), alternating
+/// elements, a half-stripe run, and the full stripe.
+fn probe_subsets(layout: &Layout) -> Vec<Vec<usize>> {
+    let n = layout.num_data_cells();
+    let mut subsets = vec![vec![0], vec![n - 1], (0..n).collect::<Vec<_>>()];
+    if n >= 3 {
+        subsets.push(vec![0, n - 1]);
+        subsets.push((0..n).step_by(2).collect());
+        subsets.push((0..n / 2).collect());
+    }
+    subsets
+}
+
+/// Proves every probe subset under both partial-write modes (the
+/// full-stripe case rides on `Reconstruct`, which compiles identically).
+/// Returns the number of (subset, mode) proofs that ran.
+///
+/// # Errors
+///
+/// Returns the first failing proof.
+pub fn prove_layout_flushes(layout: &Layout) -> Result<usize, CoalesceError> {
+    let mut proofs = 0;
+    for subset in probe_subsets(layout) {
+        for mode in [WriteMode::Rmw, WriteMode::Reconstruct] {
+            prove_batched_flush(layout, &subset, mode)?;
+            proofs += 1;
+        }
+    }
+    Ok(proofs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+
+    #[test]
+    fn every_code_proves_coalesced_flushes_at_small_primes() {
+        for name in crate::CODE_NAMES {
+            for p in [5usize, 7] {
+                let code = build(name, p).unwrap_or_else(|e| panic!("{e}"));
+                let proofs = prove_layout_flushes(code.layout())
+                    .unwrap_or_else(|e| panic!("{name} p={p}: {e}"));
+                assert!(proofs >= 6, "{name} p={p} ran only {proofs} proofs");
+            }
+        }
+    }
+
+    #[test]
+    fn rmw_singleton_matches_partial_write_semantics() {
+        let code = build("hv", 5).unwrap();
+        let layout = code.layout();
+        // A single dirty element under RMW is exactly the classic
+        // read-modify-write path the healthy write planner uses.
+        prove_batched_flush(layout, &[3], WriteMode::Rmw).unwrap();
+    }
+
+    #[test]
+    fn a_sabotaged_expectation_is_rejected() {
+        // Guard the prover itself: flipping the mode between compilation
+        // and expectation must be caught (RMW and reconstruct programs are
+        // different linear maps whenever some member is untouched).
+        let code = build("rdp", 5).unwrap();
+        let layout = code.layout();
+        let plan = plan_batched_write(layout, &[0]);
+        let expected = expected_exprs(layout, &plan, WriteMode::Rmw);
+        let steps = batched_write_steps(layout, &plan, WriteMode::Reconstruct);
+        let raw = XorPlan::from_steps(
+            2 * layout.rows(),
+            layout.cols(),
+            steps.iter().map(|(t, s)| (*t, s.as_slice())),
+        );
+        let mut state = SymState::identity(2 * layout.rows(), layout.cols());
+        state.execute(&raw).unwrap();
+        let (p, want) = &expected[0];
+        let got = state.expr(Cell::new(p.row + layout.rows(), p.col));
+        assert_ne!(got, want, "mode mixup must be distinguishable");
+    }
+}

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coalesce;
 pub mod plan_check;
 pub mod report;
 pub mod symbolic;
@@ -80,6 +81,8 @@ pub enum CheckError {
     Build(String),
     /// A plan failed symbolic verification.
     Plan(PlanError),
+    /// A coalesced cache-flush program failed symbolic verification.
+    Coalesce(coalesce::CoalesceError),
     /// The layout deviates from the paper's published table values.
     PaperMismatch(Vec<String>),
 }
@@ -89,6 +92,7 @@ impl std::fmt::Display for CheckError {
         match self {
             CheckError::Build(msg) => write!(f, "{msg}"),
             CheckError::Plan(e) => write!(f, "{e}"),
+            CheckError::Coalesce(e) => write!(f, "{e}"),
             CheckError::PaperMismatch(diffs) => {
                 write!(f, "layout deviates from the paper: {}", diffs.join("; "))
             }
@@ -131,6 +135,10 @@ pub fn check_code(name: &str, p: usize) -> Result<CodeReport, CheckError> {
         }));
     }
     let mds = prove_mds(layout).map_err(CheckError::Plan)?;
+    // The write-back cache's coalesced flush programs (both partial-write
+    // modes, across representative dirty subsets) must compute exactly
+    // the parity algebra over the double-height old/new grid.
+    coalesce::prove_layout_flushes(layout).map_err(CheckError::Coalesce)?;
 
     let metrics = CodeMetrics::measure(layout);
     let paper_diffs = match paper_expectation(name, p) {
