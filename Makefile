@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench bench-smoke chaos-smoke lint miri test-kernel-audit verify clean
+.PHONY: build test bench bench-smoke chaos-smoke threads-smoke lint miri test-kernel-audit verify clean
 
 build:
 	$(CARGO) build --release
@@ -39,6 +39,16 @@ bench-smoke:
 chaos-smoke:
 	$(CARGO) run -q --release -p hvraid -- chaos --seed 1 --episodes 25
 	$(CARGO) run -q --release -p hvraid -- chaos --seed 2 --episodes 25 --backend mem --spares 0
+	$(CARGO) run -q --release -p hvraid -- chaos --seed 3 --episodes 25 --threads 4 --stripes 8
+
+# Backend conformance under the partitioned executor: the same suite at
+# 2 and 4 worker threads (HV_THREADS pins the volume's partition count
+# and the file backend's I/O pool). On a 1-core host this degenerates to
+# the serial path — the point is that the answers never change.
+threads-smoke:
+	HV_THREADS=2 $(CARGO) test -q -p integration --test backend_conformance
+	HV_THREADS=4 $(CARGO) test -q -p integration --test backend_conformance
+	$(CARGO) test -q -p integration --test partition_determinism
 
 # Static analysis gate: warnings-as-errors clippy across every target,
 # the (gated) miri pass over the unsafe kernels, then the symbolic
@@ -73,6 +83,7 @@ verify:
 	$(CARGO) build --release
 	$(CARGO) test -q
 	$(MAKE) lint
+	$(MAKE) threads-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
 

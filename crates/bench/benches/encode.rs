@@ -102,6 +102,45 @@ fn bench_encode_tiling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Threads×codes scaling of the partitioned batch executor: a batch of
+/// independent stripes encoded through `encode_batch` (partition map +
+/// per-worker ledger shards) at 1, 2 and 4 workers, for every code at
+/// p = 13. On a 1-core host the curve is flat by construction — the
+/// partitioned path collapses to the inline serial path — so the table
+/// doubles as a regression gate on partitioning overhead.
+fn bench_encode_batch_threads(c: &mut Criterion) {
+    const BATCH: usize = 8;
+    const BATCH_ELEMENT: usize = 16 * 1024;
+    let p = 13usize;
+    let mut group = c.benchmark_group("encode_batch_threads");
+    for code in extended(p) {
+        let layout = code.layout();
+        let mut stripes: Vec<Stripe> = (0..BATCH)
+            .map(|i| {
+                let mut s = Stripe::for_layout(layout, BATCH_ELEMENT);
+                s.fill_data_seeded(layout, 11 + i as u64);
+                s
+            })
+            .collect();
+        let bytes = (BATCH * layout.num_data_cells() * BATCH_ELEMENT) as u64;
+        let name = code.name().replace(' ', "_");
+        for threads in [1usize, 2, 4] {
+            group.throughput(Throughput::Bytes(bytes));
+            group.bench_with_input(
+                BenchmarkId::new(&name, format!("t{threads}")),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        raid_array::encode_batch(code.as_ref(), &mut stripes, threads);
+                        std::hint::black_box(&stripes);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_rs_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("encode_rs");
     let k = 12;
@@ -205,6 +244,7 @@ criterion_group!(
     benches,
     bench_encode,
     bench_encode_tiling,
+    bench_encode_batch_threads,
     bench_rs_encode,
     bench_kernels,
     bench_plan_vs_reference
@@ -267,6 +307,19 @@ fn main() {
             )
         })
         .collect();
+    // Batch-executor thread scaling at p = 13: t1/tN per code, from the
+    // threads×codes sweep. Flat (≈1.00) on a 1-core host by design.
+    let batch_scale = |code: &str, t: usize| {
+        records
+            .iter()
+            .find(|r| r.group == "encode_batch_threads" && r.id == format!("{code}/t{t}"))
+            .map(|r| r.ns_per_iter)
+    };
+    let thread_speedup = |code: &str, t: usize| match (batch_scale(code, 1), batch_scale(code, t))
+    {
+        (Some(t1), Some(tn)) if tn > 0.0 => format!("{:.2}", t1 / tn),
+        _ => "n/a".to_string(),
+    };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_encode.json");
     let mut notes: Vec<(&str, String)> = vec![
         ("element_bytes", ELEMENT.to_string()),
@@ -280,6 +333,10 @@ fn main() {
         ("tiling_speedup_64k_hv", tiling("HV_Code")),
         ("tiling_speedup_64k_rdp", tiling("RDP")),
         ("tiling_speedup_64k_evenodd", tiling("EVENODD")),
+        ("batch_threads_sweep", "1 2 4".to_string()),
+        ("batch_threads_speedup_t2_hv_p13", thread_speedup("HV_Code", 2)),
+        ("batch_threads_speedup_t4_hv_p13", thread_speedup("HV_Code", 4)),
+        ("batch_threads_speedup_t4_rdp_p13", thread_speedup("RDP", 4)),
         // The machine-readable core count lives here (not in DESIGN.md
         // prose) so every report carries the hardware it was measured on.
         (

@@ -54,14 +54,17 @@ commands:
                                            (exit 0 clean, 2 repaired, 3 unrecoverable)
   chaos     [--seed N] [--episodes 100] [--backend both|mem] [--dir <dir>]
             [--code hv] [--p 5] [--stripes 4] [--element 16] [--spares 2]
-            [--steps 12] [--sweeps true] [--cache true]
+            [--steps 12] [--sweeps true] [--cache true] [--threads 1]
                                            randomized fault-injection campaign (dead
                                            disks, transients, latent sectors, torn
                                            writes, crash-at-every-journal-point sweeps
                                            including crash-with-dirty-cache flushes)
                                            verified against a shadow model; any failure
                                            prints the seed that reproduces it;
-                                           --cache false disables the write-back cache
+                                           --cache false disables the write-back cache;
+                                           --threads N pins N stripe partitions and adds
+                                           partition flush barriers + a partitioned
+                                           encode pass to every episode
   lint      [--code <name>] [--p <prime>] [--all] [--json] [--opt]
             [--min-savings <pct>]
                                            statically verify compiled plans: symbolic
@@ -643,6 +646,7 @@ fn chaos_campaign(parsed: &Parsed) -> Result<String, String> {
         },
         crash_sweeps: parsed.get_or("sweeps", defaults.crash_sweeps)?,
         cache: parsed.get_or("cache", defaults.cache)?,
+        threads: parsed.get_or("threads", defaults.threads)?,
     };
     let scratch = cfg.dir.clone().filter(|_| !parsed.flags.contains_key("dir"));
     let result = chaos::run(&code, &cfg);
@@ -884,6 +888,17 @@ mod tests {
         assert!(out.contains("3 episodes"), "{out}");
         assert!(out.contains("all consistent"), "{out}");
         assert!(out.contains("reproduce with `hvraid chaos --seed 11`"), "{out}");
+    }
+
+    #[test]
+    fn chaos_accepts_threads_flag() {
+        let out = run_line(&[
+            "chaos", "--seed", "7", "--episodes", "2", "--backend", "mem", "--threads", "4",
+            "--stripes", "8",
+        ])
+        .unwrap();
+        assert!(out.contains("2 episodes"), "{out}");
+        assert!(out.contains("all consistent"), "{out}");
     }
 
     #[test]

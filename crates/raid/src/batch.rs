@@ -2,52 +2,44 @@
 //!
 //! Stripes are independent by construction — no parity chain crosses a
 //! stripe boundary — so encoding or rebuilding a batch of them is
-//! embarrassingly parallel. This module splits a `&mut [Stripe]` into
-//! near-equal contiguous chunks and runs the per-stripe work on
-//! crossbeam-scoped threads, one chunk per worker. With `threads <= 1`
-//! (or a single-stripe batch) everything runs inline on the caller's
-//! thread with zero spawn overhead, so the serial path stays the serial
-//! path.
+//! embarrassingly parallel. Batches run under partitioned ownership
+//! ([`crate::partition`]): the batch is split into contiguous stripe
+//! ranges, each drained by its owning worker with work-stealing for
+//! skewed ranges. With `threads <= 1` (or a single-stripe batch)
+//! everything runs inline on the caller's thread with zero spawn
+//! overhead, so the serial path stays the serial path.
 //!
 //! The per-stripe work itself is the compiled-plan interpreter
 //! ([`raid_core::XorPlan`]): the plan is compiled once per layout and
 //! shared read-only across workers, so adding threads adds no redundant
 //! geometry math.
 
+use crate::partition::{run_partitioned, PartitionMap};
 use raid_core::decoder::NotDecodableError;
 use raid_core::{ArrayCode, Cell, Stripe};
 
-/// Clamps a requested worker count to something sane for a batch of `n`
-/// independent stripes: at least 1, at most one worker per stripe.
-pub fn effective_threads(requested: usize, n: usize) -> usize {
-    requested.max(1).min(n.max(1))
+/// Clamps a requested worker count to something sane for a batch of
+/// `stripes` independent stripes spread over `partitions` owned ranges:
+/// at least 1, at most one worker per stripe, and never more workers
+/// than partitions — requesting 8 threads on a 4-partition volume gets
+/// 4 workers, not 4 busy ones plus 4 idling.
+pub fn effective_threads(requested: usize, stripes: usize, partitions: usize) -> usize {
+    requested.max(1).min(stripes.max(1)).min(partitions.max(1))
 }
 
-/// Runs `work` over every stripe in the batch on `threads` scoped
-/// workers, splitting the batch into contiguous chunks. Results are
-/// collected per stripe, in order.
+/// Runs `work` over every stripe in the batch on `threads` partitioned
+/// workers. Results are collected per stripe, in order; the workers'
+/// ledger shards are dropped because batch-level stripe transforms do
+/// their accounting at the volume layer, where the ops are lowered.
 fn run_batch<T, F>(stripes: &mut [Stripe], threads: usize, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&mut Stripe) -> T + Sync,
 {
-    let threads = effective_threads(threads, stripes.len());
-    if threads <= 1 {
-        return stripes.iter_mut().map(&work).collect();
-    }
-    let chunk = stripes.len().div_ceil(threads);
-    let work = &work;
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = stripes
-            .chunks_mut(chunk)
-            .map(|chunk| s.spawn(move |_| chunk.iter_mut().map(work).collect::<Vec<T>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("batch worker panicked"))
-            .collect()
-    })
-    .expect("batch scope failed")
+    let map = PartitionMap::build(stripes.len(), threads.max(1));
+    let (results, _shards) =
+        run_partitioned(&map, 0, stripes, threads, |_shard, _i, stripe| work(stripe));
+    results
 }
 
 /// Recomputes every parity of every stripe in the batch, using up to
@@ -146,8 +138,19 @@ mod tests {
 
     #[test]
     fn effective_threads_clamps() {
-        assert_eq!(effective_threads(0, 10), 1);
-        assert_eq!(effective_threads(4, 2), 2);
-        assert_eq!(effective_threads(4, 0), 1);
+        assert_eq!(effective_threads(0, 10, 10), 1);
+        assert_eq!(effective_threads(4, 2, 4), 2);
+        assert_eq!(effective_threads(4, 0, 4), 1);
+        // More threads than partitions must not spawn idle workers.
+        assert_eq!(effective_threads(8, 100, 4), 4);
+    }
+
+    #[test]
+    fn effective_threads_one_core_degenerate() {
+        // A 1-core host builds 1-partition maps: any request collapses
+        // to the inline serial path, spawning nothing.
+        assert_eq!(effective_threads(8, 100, 1), 1);
+        assert_eq!(effective_threads(1, 1, 1), 1);
+        assert_eq!(effective_threads(usize::MAX, 100, 1), 1);
     }
 }

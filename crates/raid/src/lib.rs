@@ -18,11 +18,13 @@
 //! [`addr`] maps the linear data-element address space onto stripes and
 //! optionally rotates stripes across disks ("stripe rotation", the
 //! traditional balancing technique the paper contrasts with parity
-//! spreading). [`batch`] runs encode/decode XOR kernels for batches of
-//! independent stripes on scoped worker threads; [`replay`] drives a
-//! volume + simulator pair from workload traces. [`cache`] adds the
-//! write-back stripe cache that coalesces co-located element writes into
-//! single journal-atomic flushes sharing parity I/O.
+//! spreading). [`partition`] splits the stripe space into contiguous
+//! owned ranges with work-stealing workers and per-worker ledger shards;
+//! [`batch`] runs encode/decode XOR kernels for batches of independent
+//! stripes on those partitioned workers; [`replay`] drives a volume +
+//! simulator pair from workload traces. [`cache`] adds the write-back
+//! stripe cache that coalesces co-located element writes into single
+//! journal-atomic flushes sharing parity I/O.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +37,7 @@ pub mod cache;
 pub mod chaos;
 pub mod health;
 pub mod mttr;
+pub mod partition;
 pub mod pipeline;
 pub mod reliability;
 pub mod replay;
@@ -42,13 +45,14 @@ pub mod volume;
 
 pub use addr::Addressing;
 pub use backend::{
-    DiskBackend, Fault, FaultPoint, FaultyBackend, FileBackend, JournalEntry, JournalRecovery,
-    MemBackend, RebuildCheckpoint, VolumeMeta,
+    DiskBackend, DiskCompletion, DiskRequest, Fault, FaultPoint, FaultyBackend, FileBackend,
+    JournalEntry, JournalRecovery, MemBackend, RebuildCheckpoint, VolumeMeta,
 };
 pub use batch::{encode_batch, rebuild_batch};
 pub use cache::{batched_write_steps, CacheConfig};
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use health::{HealthMonitor, HealthState, RecoveryAction, RetryPolicy};
+pub use partition::{run_partitioned, Partition, PartitionMap};
 pub use pipeline::{DiskAddr, IoPipeline, LoweredOp};
 pub use replay::{replay_read_patterns, replay_write_trace, ReadReplay, WriteReplay};
 pub use volume::{RaidVolume, VolumeError};

@@ -1,0 +1,343 @@
+//! Partitioned stripe-range ownership with work-stealing execution.
+//!
+//! The volume is split into contiguous stripe ranges ([`Partition`]s),
+//! each owned by one worker. Ownership buys two things the flat
+//! chunks-of-a-slice executor could not offer:
+//!
+//! * **Sharded accounting** — every worker carries a private
+//!   [`LedgerShard`] and never touches a shared counter; the caller
+//!   aggregates afterwards with [`raid_core::io::IoLedger::merge_shards`],
+//!   whose result is independent of worker completion order.
+//! * **Routing** — cross-range operations (multi-stripe cache flushes,
+//!   `rebuild_all`, scrub) are split at partition boundaries with
+//!   [`PartitionMap::split_range`] and each piece goes to its owner, so
+//!   a rebuild parked in range A never serializes writes in range B.
+//!
+//! Skewed ranges are handled by a work-stealing fallback: a worker that
+//! drains its own partitions claims stripes from the slowest remaining
+//! partition cursor instead of idling. Claims go through per-partition
+//! atomic cursors plus a `Mutex<Option<&mut Stripe>>` slot per stripe —
+//! each stripe is handed to exactly one worker with no `unsafe` (this
+//! crate forbids it) and results land indexed by stripe, so output order
+//! is deterministic regardless of who executed what.
+
+use crate::batch::effective_threads;
+use raid_core::io::LedgerShard;
+use raid_core::Stripe;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One contiguous stripe range `[start, end)` owned by one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Position of this partition in the map (its shard index).
+    pub index: usize,
+    /// First stripe owned (inclusive).
+    pub start: usize,
+    /// One past the last stripe owned.
+    pub end: usize,
+}
+
+impl Partition {
+    /// The owned stripe range.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of stripes owned.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the partition owns no stripes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True if `stripe` falls inside this partition.
+    pub fn contains(&self, stripe: usize) -> bool {
+        (self.start..self.end).contains(&stripe)
+    }
+}
+
+/// The stripe-range → owner map: contiguous, near-equal partitions
+/// covering `0..stripes` exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMap {
+    stripes: usize,
+    parts: Vec<Partition>,
+}
+
+impl PartitionMap {
+    /// Splits `stripes` stripes into `partitions` contiguous near-equal
+    /// ranges. The partition count is clamped to `[1, max(stripes, 1)]`
+    /// so no partition is ever empty (except the degenerate zero-stripe
+    /// map, which keeps one empty partition for shape stability).
+    pub fn build(stripes: usize, partitions: usize) -> Self {
+        let count = partitions.clamp(1, stripes.max(1));
+        let base = stripes / count;
+        let extra = stripes % count;
+        let mut parts = Vec::with_capacity(count);
+        let mut start = 0;
+        for index in 0..count {
+            let len = base + usize::from(index < extra);
+            parts.push(Partition { index, start, end: start + len });
+            start += len;
+        }
+        debug_assert_eq!(start, stripes);
+        PartitionMap { stripes, parts }
+    }
+
+    /// A map sized to the host: one partition per logical core, clamped
+    /// to the stripe count. On a 1-core host this degenerates to a single
+    /// partition, which in turn clamps every worker request down to 1.
+    pub fn auto(stripes: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        Self::build(stripes, cores)
+    }
+
+    /// Total stripes covered.
+    pub fn stripes(&self) -> usize {
+        self.stripes
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True if the map has no partitions (never — `build` keeps one).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The partitions, ascending by range.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.parts
+    }
+
+    /// The partition owning `stripe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe` is outside the map.
+    pub fn owner_of(&self, stripe: usize) -> usize {
+        assert!(stripe < self.stripes.max(1), "stripe {stripe} outside partition map");
+        // Near-equal ranges: the owner is within one step of the
+        // proportional guess, so this probe is O(1).
+        let mut guess = (stripe * self.parts.len() / self.stripes.max(1))
+            .min(self.parts.len() - 1);
+        while !self.parts[guess].contains(stripe) {
+            if self.parts[guess].start > stripe {
+                guess -= 1;
+            } else {
+                guess += 1;
+            }
+        }
+        guess
+    }
+
+    /// Splits a stripe range at partition boundaries: the pieces, in
+    /// ascending order, each tagged with its owning partition. Empty
+    /// input yields no pieces.
+    pub fn split_range(&self, range: Range<usize>) -> Vec<(usize, Range<usize>)> {
+        let mut pieces = Vec::new();
+        let mut at = range.start;
+        while at < range.end {
+            let owner = self.owner_of(at);
+            let piece_end = self.parts[owner].end.min(range.end);
+            pieces.push((owner, at..piece_end));
+            at = piece_end;
+        }
+        pieces
+    }
+}
+
+/// Runs `work` over every stripe under partitioned ownership with up to
+/// `threads` workers (clamped by stripe and partition count), returning
+/// the per-stripe results **in stripe order** plus every worker's private
+/// [`LedgerShard`] (pass them to [`raid_core::io::IoLedger::merge_shards`]).
+///
+/// Worker `w` first drains the partitions it owns (`p ≡ w mod threads`),
+/// then steals from the remaining cursors, so a skewed range keeps every
+/// worker busy. Which worker executes a stripe is timing-dependent; the
+/// result vector and the merged shard totals are not, because results are
+/// indexed by stripe and ledger merging is commutative.
+///
+/// With `threads <= 1` everything runs inline on the caller's thread in
+/// stripe order — the serial path stays the serial path.
+///
+/// # Panics
+///
+/// Panics if `stripes.len()` does not match the map.
+pub fn run_partitioned<T, F>(
+    map: &PartitionMap,
+    disks: usize,
+    stripes: &mut [Stripe],
+    threads: usize,
+    work: F,
+) -> (Vec<T>, Vec<LedgerShard>)
+where
+    T: Send,
+    F: Fn(&mut LedgerShard, usize, &mut Stripe) -> T + Sync,
+{
+    assert_eq!(map.stripes(), stripes.len(), "partition map does not fit the batch");
+    let threads = effective_threads(threads, stripes.len(), map.len());
+    if threads <= 1 {
+        let mut shard = LedgerShard::new(0, disks);
+        let results = stripes
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| work(&mut shard, i, s))
+            .collect();
+        return (results, vec![shard]);
+    }
+
+    let cursors: Vec<AtomicUsize> =
+        map.partitions().iter().map(|p| AtomicUsize::new(p.start)).collect();
+    let slots: Vec<Mutex<Option<&mut Stripe>>> =
+        stripes.iter_mut().map(|s| Mutex::new(Some(s))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    let (work, cursors, slots, results) = (&work, &cursors, &slots, &results);
+
+    let shards = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                s.spawn(move |_| {
+                    let mut shard = LedgerShard::new(w, disks);
+                    // Own partitions first, then steal from the rest.
+                    let owned = (0..map.len()).filter(|p| p % threads == w);
+                    let stealable = (0..map.len()).filter(|p| p % threads != w);
+                    for p in owned.chain(stealable) {
+                        let end = map.partitions()[p].end;
+                        loop {
+                            let i = cursors[p].fetch_add(1, Ordering::Relaxed);
+                            if i >= end {
+                                break;
+                            }
+                            let stripe = slots[i]
+                                .lock()
+                                .expect("stripe slot poisoned")
+                                .take()
+                                .expect("stripe claimed twice");
+                            let out = work(&mut shard, i, stripe);
+                            *results[i].lock().expect("result slot poisoned") = Some(out);
+                        }
+                    }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect::<Vec<LedgerShard>>()
+    })
+    .expect("partition scope failed");
+
+    let collected = results
+        .iter()
+        .map(|m| {
+            m.lock().expect("result slot poisoned").take().expect("stripe never executed")
+        })
+        .collect();
+    (collected, shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raid_core::io::IoLedger;
+    use raid_core::ArrayCode;
+
+    #[test]
+    fn build_covers_every_stripe_once() {
+        for (stripes, parts) in [(10, 3), (7, 7), (5, 8), (1, 4), (16, 4)] {
+            let map = PartitionMap::build(stripes, parts);
+            assert_eq!(map.stripes(), stripes);
+            assert!(map.len() <= stripes.max(1));
+            let mut covered = 0;
+            for (i, p) in map.partitions().iter().enumerate() {
+                assert_eq!(p.index, i);
+                assert_eq!(p.start, covered);
+                assert!(!p.is_empty(), "empty partition in {stripes}x{parts}");
+                covered = p.end;
+            }
+            assert_eq!(covered, stripes);
+            // Near-equal: sizes differ by at most one.
+            let sizes: Vec<usize> = map.partitions().iter().map(Partition::len).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn owner_of_agrees_with_ranges() {
+        let map = PartitionMap::build(11, 4);
+        for stripe in 0..11 {
+            let owner = map.owner_of(stripe);
+            assert!(map.partitions()[owner].contains(stripe));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside partition map")]
+    fn owner_of_rejects_out_of_range() {
+        PartitionMap::build(4, 2).owner_of(4);
+    }
+
+    #[test]
+    fn split_range_cuts_at_boundaries() {
+        let map = PartitionMap::build(12, 3); // [0,4) [4,8) [8,12)
+        assert_eq!(map.split_range(0..12), vec![(0, 0..4), (1, 4..8), (2, 8..12)]);
+        assert_eq!(map.split_range(3..5), vec![(0, 3..4), (1, 4..5)]);
+        assert_eq!(map.split_range(5..7), vec![(1, 5..7)]);
+        assert!(map.split_range(6..6).is_empty());
+    }
+
+    #[test]
+    fn run_partitioned_returns_results_in_stripe_order() {
+        let code = hv_code::HvCode::new(7).unwrap();
+        let layout = code.layout();
+        let mut stripes: Vec<Stripe> = (0..9)
+            .map(|i| {
+                let mut s = Stripe::for_layout(layout, 16);
+                s.fill_data_seeded(layout, i as u64);
+                s
+            })
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let map = PartitionMap::build(stripes.len(), 4);
+            let (results, shards) =
+                run_partitioned(&map, 3, &mut stripes, threads, |shard, i, _stripe| {
+                    shard.add_reads(i % 3, 1);
+                    i * 10
+                });
+            assert_eq!(results, (0..9).map(|i| i * 10).collect::<Vec<_>>());
+            let merged = IoLedger::merge_shards(3, shards);
+            assert_eq!(merged.total_reads(), 9);
+            assert_eq!(merged.reads(), [3, 3, 3]);
+        }
+    }
+
+    #[test]
+    fn work_stealing_covers_skewed_maps() {
+        // One partition holds almost everything; stealing must still
+        // visit every stripe exactly once.
+        let mut stripes: Vec<Stripe> = (0..32)
+            .map(|_| Stripe::for_layout(hv_code::HvCode::new(5).unwrap().layout(), 8))
+            .collect();
+        let map = PartitionMap::build(stripes.len(), 2);
+        let hits = AtomicUsize::new(0);
+        let (results, shards) =
+            run_partitioned(&map, 1, &mut stripes, 2, |shard, i, _stripe| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                shard.add_reads(0, 1);
+                i
+            });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+        assert_eq!(results, (0..32).collect::<Vec<_>>());
+        assert_eq!(IoLedger::merge_shards(1, shards).total_reads(), 32);
+    }
+}

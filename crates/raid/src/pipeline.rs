@@ -10,10 +10,11 @@
 //! disagree about what was issued.
 
 use disk_sim::{DiskArray, DiskError};
-use raid_core::io::{IoLedger, RequestSet};
+use raid_core::io::{IoLedger, LedgerShard, RequestSet};
 use raid_core::{Cell, Stripe, XorPlan};
 
-use crate::backend::{DiskBackend, JournalEntry};
+use crate::backend::{DiskBackend, DiskRequest, JournalEntry};
+use crate::partition::{run_partitioned, PartitionMap};
 
 /// A flat element address on the backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -280,6 +281,177 @@ impl IoPipeline {
         self.ledger.absorb(&rs);
         Ok(rs)
     }
+
+    /// Executes one lowered op per stripe scratch under partitioned
+    /// ownership: reads are batched through
+    /// [`DiskBackend::submit_batch`], the XOR plans run on up to
+    /// `threads` partitioned workers (work-stealing for skew), and the
+    /// write phase commits under **one** undo journal covering the whole
+    /// batch — all-or-nothing, strictly stronger than committing each op
+    /// under its own journal. Accounting is shard-local: each worker
+    /// absorbs its ops' request sets into a private [`LedgerShard`];
+    /// on success the shards are merged (order-independently) into the
+    /// cumulative ledger and returned alongside the per-op request sets,
+    /// so callers can audit the merge against the receipts.
+    ///
+    /// Byte-identical to looping [`IoPipeline::execute`] over the ops:
+    /// phases touch the backend in op order, and stripes are independent
+    /// (no op reads what another writes).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DiskError`] any phase produced. A read-phase
+    /// error commits nothing; a write-phase error rolls every stored
+    /// element of the batch back to its pre-image (journal recovery
+    /// covers a crash mid-phase); nothing reaches the simulator or
+    /// ledger on any error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops`, `scratches`, and `map` disagree on length.
+    pub fn execute_batch(
+        &mut self,
+        ops: &[LoweredOp],
+        scratches: &mut [Stripe],
+        map: &PartitionMap,
+        threads: usize,
+    ) -> Result<(Vec<RequestSet>, Vec<LedgerShard>), DiskError> {
+        assert_eq!(ops.len(), scratches.len(), "one scratch per op");
+        assert_eq!(map.stripes(), ops.len(), "partition map does not fit the batch");
+        let disks = self.backend.disks();
+        #[cfg(debug_assertions)]
+        for (op, scratch) in ops.iter().zip(scratches.iter()) {
+            if let Err(e) =
+                crate::audit::audit_lowered(op, scratch.rows(), scratch.cols(), disks, None)
+            {
+                panic!("lowered op failed static audit: {e}");
+            }
+        }
+
+        // Phase 1 — every op's reads, one batched submission in op order.
+        let read_reqs: Vec<DiskRequest> = ops
+            .iter()
+            .flat_map(|op| {
+                op.reads
+                    .iter()
+                    .map(|&(_, a)| DiskRequest::Read { disk: a.disk, index: a.index })
+            })
+            .collect();
+        let mut completions = self.backend.submit_batch(&read_reqs).into_iter();
+        for (op, scratch) in ops.iter().zip(scratches.iter_mut()) {
+            for &(cell, _) in &op.reads {
+                let bytes = completions
+                    .next()
+                    .expect("one completion per submitted read")?
+                    .expect("read completions carry bytes");
+                scratch.element_mut(cell).copy_from_slice(&bytes);
+            }
+        }
+
+        // Phase 2 — partitioned compute with shard-local accounting: the
+        // worker that runs an op's plan also absorbs its (statically
+        // predicted, later re-derived) request set into its own shard.
+        let (_, shards) =
+            run_partitioned(map, disks, scratches, threads, |shard, i, scratch| {
+                let op = &ops[i];
+                if let Some(plan) = &op.plan {
+                    plan.execute(scratch);
+                }
+                shard.absorb(&crate::audit::predicted_request_set(op, disks));
+            });
+
+        // Phase 3 — the batch's write phase under a single undo journal:
+        // gather every target's pre-image (batched, unaccounted), journal
+        // them durably as one record, then submit the writes. Any failed
+        // entry rolls the whole batch back in place; a crash leaves the
+        // journal for reopen-time rollback of everything.
+        let targets: Vec<(Cell, DiskAddr)> = ops
+            .iter()
+            .flat_map(|op| op.data_writes.iter().chain(&op.parity_writes).copied())
+            .collect();
+        if !targets.is_empty() {
+            let pre_reqs: Vec<DiskRequest> = targets
+                .iter()
+                .map(|&(_, a)| DiskRequest::Read { disk: a.disk, index: a.index })
+                .collect();
+            let mut entries: Vec<JournalEntry> = Vec::with_capacity(targets.len());
+            for (completion, &(_, addr)) in
+                self.backend.submit_batch(&pre_reqs).into_iter().zip(&targets)
+            {
+                let data = match completion {
+                    Ok(bytes) => bytes.expect("read completions carry bytes"),
+                    // An unreadable sector about to be overwritten: the
+                    // write remaps it; zeros are as good an undo image as
+                    // any for a sector with no readable contents.
+                    Err(DiskError::LatentSector { .. }) => {
+                        vec![0; self.backend.element_size()]
+                    }
+                    Err(e) => return Err(e),
+                };
+                entries.push(JournalEntry { disk: addr.disk, index: addr.index, data });
+            }
+            self.backend.journal_begin(&entries)?;
+
+            let mut write_reqs: Vec<DiskRequest> = Vec::with_capacity(targets.len());
+            for (op, scratch) in ops.iter().zip(scratches.iter()) {
+                for &(cell, a) in op.data_writes.iter().chain(&op.parity_writes) {
+                    write_reqs.push(DiskRequest::Write {
+                        disk: a.disk,
+                        index: a.index,
+                        data: scratch.element(cell).to_vec(),
+                    });
+                }
+            }
+            let write_completions = self.backend.submit_batch(&write_reqs);
+            if let Some(first_err) = write_completions
+                .iter()
+                .find_map(|c| c.as_ref().err())
+                .cloned()
+            {
+                // Roll every *stored* element back in place, newest first.
+                // A rollback write to a disk that just died is fine to
+                // skip (its content is invalid until rebuilt); any other
+                // rollback failure means the in-place undo is incomplete,
+                // so the journal must survive for reopen-time recovery.
+                let mut undo_ok = true;
+                for (entry, completion) in
+                    entries.iter().zip(&write_completions).rev()
+                {
+                    if completion.is_err() {
+                        continue;
+                    }
+                    match self.backend.write(entry.disk, entry.index, &entry.data) {
+                        Ok(()) | Err(DiskError::DiskFailed { .. }) => {}
+                        Err(_) => undo_ok = false,
+                    }
+                }
+                if undo_ok {
+                    let _ = self.backend.journal_commit();
+                }
+                return Err(first_err);
+            }
+            self.backend.journal_commit()?;
+        }
+
+        // Phase 4 — commit accounting: per-op request sets to the
+        // simulator in op order, the merged shards into the ledger once.
+        let mut sets = Vec::with_capacity(ops.len());
+        for op in ops {
+            let rs = crate::audit::predicted_request_set(op, disks);
+            if let Some(sim) = &mut self.sim {
+                self.op_latency_ms += sim.run_requests(&rs)?;
+            }
+            sets.push(rs);
+        }
+        let merged = IoLedger::merge_shards(disks, shards.clone());
+        debug_assert_eq!(
+            merged.total(),
+            sets.iter().map(RequestSet::total).sum::<u64>(),
+            "merged shard totals diverged from the per-op receipts"
+        );
+        self.ledger.merge(&merged);
+        Ok((sets, shards))
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +505,84 @@ mod tests {
         pipe.execute(&op, &mut scratch).unwrap();
         assert!(pipe.op_latency_ms() > 0.0);
         assert_eq!(pipe.sim().unwrap().served(), pipe.ledger().per_disk_totals());
+    }
+
+    #[test]
+    fn execute_batch_matches_serial_execute() {
+        // Two independent 1×3 stripes (indices 0 and 1 per disk), each
+        // computing c2 = c0 XOR c1.
+        let c = Cell::new;
+        let make_op = |index: usize| LoweredOp {
+            reads: vec![(c(0, 0), addr(0, index)), (c(0, 1), addr(1, index))],
+            plan: Some(XorPlan::from_steps(1, 3, [(c(0, 2), [c(0, 0), c(0, 1)].as_slice())])),
+            data_writes: vec![],
+            parity_writes: vec![(c(0, 2), addr(2, index))],
+        };
+        let seed = |pipe: &mut IoPipeline| {
+            pipe.backend_mut().write(0, 0, &[1, 2, 3, 4]).unwrap();
+            pipe.backend_mut().write(1, 0, &[4, 4, 4, 4]).unwrap();
+            pipe.backend_mut().write(0, 1, &[8, 8, 8, 8]).unwrap();
+            pipe.backend_mut().write(1, 1, &[1, 0, 1, 0]).unwrap();
+        };
+
+        let mut serial = IoPipeline::new(Box::new(MemBackend::new(3, 2, 4)));
+        seed(&mut serial);
+        let mut serial_sets = Vec::new();
+        for index in 0..2 {
+            let mut scratch = Stripe::zeroed(1, 3, 4);
+            serial_sets.push(serial.execute(&make_op(index), &mut scratch).unwrap());
+        }
+
+        let mut batched = IoPipeline::new(Box::new(MemBackend::new(3, 2, 4)));
+        seed(&mut batched);
+        let ops: Vec<LoweredOp> = (0..2).map(make_op).collect();
+        let mut scratches = vec![Stripe::zeroed(1, 3, 4); 2];
+        let map = crate::partition::PartitionMap::build(2, 2);
+        let (sets, shards) = batched.execute_batch(&ops, &mut scratches, &map, 2).unwrap();
+
+        assert_eq!(sets, serial_sets);
+        assert_eq!(batched.ledger(), serial.ledger());
+        let merged = IoLedger::merge_shards(3, shards);
+        assert_eq!(merged.total(), batched.ledger().total());
+        // The backends hold identical bytes.
+        for index in 0..2 {
+            let (mut a, mut b) = ([0u8; 4], [0u8; 4]);
+            serial.backend_mut().read(2, index, &mut a).unwrap();
+            batched.backend_mut().read(2, index, &mut b).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn execute_batch_failed_write_rolls_back_whole_batch() {
+        // The batch performs 4 reads (phase 1) + 2 pre-image reads, then
+        // journals and writes; the fault fires on the second write
+        // (backend op 8 after the 1 setup write), so the first write must
+        // be rolled back to its pre-image and nothing committed.
+        let c = Cell::new;
+        let inner = MemBackend::new(2, 2, 4);
+        let mut faulty =
+            FaultyBackend::new(Box::new(inner), vec![FaultPoint { at_op: 8, disk: 1 }]);
+        faulty.write(0, 0, &[9, 9, 9, 9]).unwrap(); // op 1 — pre-existing value
+        let mut pipe = IoPipeline::new(Box::new(faulty));
+        let op_for = |index: usize, disk: usize| LoweredOp {
+            reads: vec![(c(0, 0), addr(0, index)), (c(0, 1), addr(1, index))],
+            plan: None,
+            data_writes: vec![(c(0, disk), addr(disk, index))],
+            parity_writes: vec![],
+        };
+        let ops = vec![op_for(0, 0), op_for(1, 1)];
+        let mut scratches = vec![Stripe::zeroed(1, 2, 4); 2];
+        scratches[0].set_element(c(0, 0), &[1, 1, 1, 1]);
+        scratches[1].set_element(c(0, 1), &[2, 2, 2, 2]);
+        let map = crate::partition::PartitionMap::build(2, 1);
+        let err = pipe.execute_batch(&ops, &mut scratches, &map, 1).unwrap_err();
+        assert_eq!(err, DiskError::DiskFailed { disk: 1 });
+        // Disk 0's committed write was rolled back to its pre-image.
+        let mut out = [0u8; 4];
+        pipe.backend_mut().read(0, 0, &mut out).unwrap();
+        assert_eq!(out, [9, 9, 9, 9]);
+        assert_eq!(pipe.ledger().total(), 0);
     }
 
     #[test]

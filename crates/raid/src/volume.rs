@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use disk_sim::{DiskArray, DiskError};
 use raid_core::decoder;
-use raid_core::io::IoLedger;
+use raid_core::io::{IoLedger, LedgerShard};
 use raid_core::layout::Layout;
 use raid_core::plan::degraded::{plan_degraded_read, plan_degraded_read_multi};
 use raid_core::plan::single::{plan_single_disk_recovery, SearchStrategy};
@@ -25,9 +25,9 @@ use raid_core::{ArrayCode, Cell, ChainId, Stripe, XorPlan};
 
 use crate::addr::Addressing;
 use crate::backend::{DiskBackend, FaultyBackend, MemBackend, RebuildCheckpoint};
-use crate::batch;
 use crate::cache::{batched_write_steps, CacheConfig, StripeCache};
 use crate::health::{HealthMonitor, HealthState, RecoveryAction};
+use crate::partition::PartitionMap;
 use crate::pipeline::{DiskAddr, IoPipeline, LoweredOp};
 
 /// Hard cap on recovery attempts per operation — a backstop against a
@@ -159,6 +159,9 @@ pub struct RaidVolume {
     rebuild_task: Option<RebuildTask>,
     /// The write-back stripe cache, when enabled.
     cache: Option<StripeCache>,
+    /// Explicit stripe-partition count for batched execution; `None`
+    /// derives one from the host's available parallelism.
+    partitions: Option<usize>,
 }
 
 /// In-memory mirror of the persisted [`RebuildCheckpoint`].
@@ -307,6 +310,7 @@ impl RaidVolume {
             auto_heal: true,
             rebuild_task: None,
             cache: None,
+            partitions: None,
         };
         volume.resume_rebuild_checkpoint()?;
         volume.note_health();
@@ -502,6 +506,32 @@ impl RaidVolume {
     /// death (on by default; inert while the spare pool is empty).
     pub fn set_auto_heal(&mut self, on: bool) {
         self.auto_heal = on;
+    }
+
+    /// Pins the stripe-partition count used by batched execution
+    /// ([`RaidVolume::encode_all`], [`RaidVolume::rebuild_all`],
+    /// partition-grouped [`RaidVolume::flush`]). `None` (the default)
+    /// derives one from the host's available parallelism.
+    pub fn set_partitions(&mut self, partitions: Option<usize>) {
+        self.partitions = partitions.map(|p| p.max(1));
+    }
+
+    /// The volume's current stripe-partition map: contiguous stripe
+    /// ranges, each owned by one worker/ledger shard.
+    pub fn partition_map(&self) -> PartitionMap {
+        match self.partitions {
+            Some(p) => PartitionMap::build(self.stripes, p),
+            None => PartitionMap::auto(self.stripes),
+        }
+    }
+
+    /// The partition map batched ops actually execute under: the pinned
+    /// count when set, otherwise one partition per requested thread.
+    fn map_for(&self, threads: usize) -> PartitionMap {
+        match self.partitions {
+            Some(p) => PartitionMap::build(self.stripes, p),
+            None => PartitionMap::build(self.stripes, threads.max(1)),
+        }
     }
 
     /// The in-flight background rebuild, as its persisted checkpoint
@@ -916,15 +946,60 @@ impl RaidVolume {
     /// Returns [`VolumeError`] if a flush cannot be served; the affected
     /// stripe's dirty data stays in the cache for a later retry.
     pub fn flush(&mut self) -> Result<IoLedger, VolumeError> {
-        let mut receipt = IoLedger::new(self.disks());
         if self.cache.is_none() {
-            return Ok(receipt);
+            return Ok(IoLedger::new(self.disks()));
         }
         self.pipeline.begin_op();
-        for stripe in self.cache.as_ref().expect("cache enabled").dirty_stripes() {
-            receipt.merge(&self.flush_stripe(stripe)?);
+        let map = self.partition_map();
+        let mut shards = Vec::with_capacity(map.len());
+        for part in 0..map.len() {
+            shards.push(self.flush_partition_shard(&map, part)?);
         }
-        Ok(receipt)
+        Ok(IoLedger::merge_shards(self.disks(), shards))
+    }
+
+    /// Flushes only the dirty stripes owned by one partition of the
+    /// current [`RaidVolume::partition_map`] — the targeted write barrier
+    /// a caller uses to drain range B while a rebuild is parked in range
+    /// A. A no-op for partitions with no dirty stripes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VolumeError`] if a flush cannot be served; the affected
+    /// stripe's dirty data stays in the cache for a later retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range for the current map.
+    pub fn flush_partition(&mut self, partition: usize) -> Result<IoLedger, VolumeError> {
+        if self.cache.is_none() {
+            return Ok(IoLedger::new(self.disks()));
+        }
+        let map = self.partition_map();
+        assert!(partition < map.len(), "partition {partition} outside partition map");
+        self.pipeline.begin_op();
+        let shard = self.flush_partition_shard(&map, partition)?;
+        Ok(shard.into_ledger())
+    }
+
+    /// Flushes the dirty stripes one partition owns, accounting the I/O
+    /// into that partition's ledger shard. Each stripe still commits as
+    /// its own journal-atomic coalesced op, so splitting a flush at
+    /// partition boundaries never splits a stripe's crash-atomic unit.
+    fn flush_partition_shard(
+        &mut self,
+        map: &PartitionMap,
+        partition: usize,
+    ) -> Result<LedgerShard, VolumeError> {
+        let mut shard = LedgerShard::new(partition, self.disks());
+        let dirty = self.cache.as_ref().expect("cache enabled").dirty_stripes();
+        for stripe in dirty {
+            if map.owner_of(stripe) != partition {
+                continue;
+            }
+            shard.merge(&self.flush_stripe(stripe)?);
+        }
+        Ok(shard)
     }
 
     /// Flushes one stripe's dirty elements as a single coalesced lowered
@@ -1681,39 +1756,26 @@ impl RaidVolume {
         self.pipeline.begin_op();
         let code = Arc::clone(&self.code);
         let layout = code.layout();
-        let mut receipt = IoLedger::new(self.disks());
 
-        // Phase 1: fetch every stripe's data elements.
-        let mut scratches = Vec::with_capacity(self.stripes);
-        for idx in 0..self.stripes {
-            let op = LoweredOp::read_only(
-                layout.data_cells().iter().map(|&c| (c, self.addr_of(idx, c))).collect(),
-            );
-            let mut scratch = Stripe::for_layout(layout, self.element_size);
-            let rs = self.pipeline.execute(&op, &mut scratch)?;
-            receipt.absorb(&rs);
-            scratches.push(scratch);
-        }
-
-        // Phase 2: parallel XOR kernels over independent stripes.
-        batch::encode_batch(code.as_ref(), &mut scratches, threads);
-
-        // Phase 3: store every parity element.
+        // One lowered op per stripe — data reads, the cached encode plan,
+        // all parity writes — submitted as a single partitioned batch.
         let parities: Vec<Cell> = (0..layout.cols())
             .flat_map(|col| layout.parities_in_col(col))
             .collect();
-        for (idx, mut scratch) in scratches.into_iter().enumerate() {
-            let op = LoweredOp {
-                parity_writes: parities
-                    .iter()
-                    .map(|&c| (c, self.addr_of(idx, c)))
-                    .collect(),
+        let mut ops = Vec::with_capacity(self.stripes);
+        let mut scratches = Vec::with_capacity(self.stripes);
+        for idx in 0..self.stripes {
+            ops.push(LoweredOp {
+                reads: layout.data_cells().iter().map(|&c| (c, self.addr_of(idx, c))).collect(),
+                plan: Some(layout.encode_plan().clone()),
+                parity_writes: parities.iter().map(|&c| (c, self.addr_of(idx, c))).collect(),
                 ..Default::default()
-            };
-            let rs = self.pipeline.execute(&op, &mut scratch)?;
-            receipt.absorb(&rs);
+            });
+            scratches.push(Stripe::for_layout(layout, self.element_size));
         }
-        Ok(receipt)
+        let map = self.map_for(threads);
+        let (_, shards) = self.pipeline.execute_batch(&ops, &mut scratches, &map, threads)?;
+        Ok(IoLedger::merge_shards(self.disks(), shards))
     }
 
     /// Rebuilds every failed disk like [`RaidVolume::rebuild`], but runs
@@ -1739,69 +1801,54 @@ impl RaidVolume {
         let code = Arc::clone(&self.code);
         let layout = code.layout();
 
-        // Phase 1: fetch every stripe's surviving elements.
-        let mut scratches = Vec::with_capacity(self.stripes);
-        let mut lost_cols_per = Vec::with_capacity(self.stripes);
-        for idx in 0..self.stripes {
-            let lost_cols: Vec<usize> =
-                failed.iter().map(|&d| self.addressing.logical_col(idx, d)).collect();
-            let mut reads = Vec::new();
-            for col in 0..layout.cols() {
-                if lost_cols.contains(&col) {
-                    continue;
-                }
-                for cell in layout.cells_in_col(col) {
-                    reads.push((cell, self.addr_of(idx, cell)));
-                }
-            }
-            let op = LoweredOp::read_only(reads);
-            let mut scratch = Stripe::for_layout(layout, self.element_size);
-            let rs = self.pipeline.execute(&op, &mut scratch)?;
-            receipt.absorb(&rs);
-            scratches.push(scratch);
-            lost_cols_per.push(lost_cols);
-        }
-
-        // Phase 2: parallel decode, grouped by lost-column pattern (with
-        // rotation the failed disks land on different logical columns per
-        // stripe).
-        let mut groups: std::collections::BTreeMap<Vec<usize>, Vec<usize>> =
+        // One lowered op per stripe — surviving-cell reads, the decode
+        // plan for that stripe's lost-column pattern, lost-column writes —
+        // submitted as a single partitioned batch. Decode plans are
+        // compiled once per pattern (with rotation the failed disks land
+        // on different logical columns per stripe).
+        let mut plan_cache: std::collections::BTreeMap<Vec<usize>, XorPlan> =
             std::collections::BTreeMap::new();
-        for (idx, cols) in lost_cols_per.iter().enumerate() {
-            let mut key = cols.clone();
-            key.sort_unstable();
-            groups.entry(key).or_default().push(idx);
-        }
-        for (lost_cols, indices) in groups {
-            let mut group: Vec<Stripe> = indices
-                .iter()
-                .map(|&i| std::mem::replace(&mut scratches[i], Stripe::zeroed(1, 1, 1)))
-                .collect();
-            batch::rebuild_batch(code.as_ref(), &mut group, &lost_cols, threads)
-                .expect("RAID-6 code repairs up to two columns");
-            for (&i, stripe) in indices.iter().zip(group) {
-                scratches[i] = stripe;
-            }
-        }
-
-        // Phase 3: stream the lost columns back to the spares.
+        let mut ops = Vec::with_capacity(self.stripes);
+        let mut scratches = Vec::with_capacity(self.stripes);
         for idx in 0..self.stripes {
+            let mut lost_cols: Vec<usize> =
+                failed.iter().map(|&d| self.addressing.logical_col(idx, d)).collect();
+            lost_cols.sort_unstable();
+            let plan = plan_cache
+                .entry(lost_cols.clone())
+                .or_insert_with(|| {
+                    let lost: Vec<Cell> =
+                        lost_cols.iter().flat_map(|&c| layout.cells_in_col(c)).collect();
+                    let decode_plan = decoder::plan_decode(layout, &lost)
+                        .expect("RAID-6 code repairs up to two columns");
+                    XorPlan::compile_decode(layout, &decode_plan).optimized()
+                })
+                .clone();
+            let mut reads = Vec::new();
             let mut data_writes = Vec::new();
             let mut parity_writes = Vec::new();
-            for &col in &lost_cols_per[idx] {
-                for cell in layout.cells_in_col(col) {
-                    let target = (cell, self.addr_of(idx, cell));
-                    if layout.is_data(cell) {
-                        data_writes.push(target);
-                    } else {
-                        parity_writes.push(target);
+            for col in 0..layout.cols() {
+                if lost_cols.contains(&col) {
+                    for cell in layout.cells_in_col(col) {
+                        let target = (cell, self.addr_of(idx, cell));
+                        if layout.is_data(cell) {
+                            data_writes.push(target);
+                        } else {
+                            parity_writes.push(target);
+                        }
+                    }
+                } else {
+                    for cell in layout.cells_in_col(col) {
+                        reads.push((cell, self.addr_of(idx, cell)));
                     }
                 }
             }
-            let op = LoweredOp { data_writes, parity_writes, ..Default::default() };
-            let rs = self.pipeline.execute(&op, &mut scratches[idx])?;
-            receipt.absorb(&rs);
+            ops.push(LoweredOp { reads, plan: Some(plan), data_writes, parity_writes });
+            scratches.push(Stripe::for_layout(layout, self.element_size));
         }
+        let map = self.map_for(threads);
+        let (_, shards) = self.pipeline.execute_batch(&ops, &mut scratches, &map, threads)?;
+        receipt.merge(&IoLedger::merge_shards(self.disks(), shards));
         self.failed.clear();
         // The batch rebuild covered everything, superseding any
         // checkpointed background task.
@@ -2302,6 +2349,75 @@ mod tests {
             let (bytes, _) = v.read(0, v.data_elements()).unwrap();
             assert_eq!(bytes, data, "rotate={rotate}");
         }
+    }
+
+    #[test]
+    fn flush_partition_drains_only_owned_range_while_rebuild_parked() {
+        let mut v = RaidVolume::with_rotation(Arc::new(HvCode::new(7).unwrap()), 8, 16, false);
+        v.set_partitions(Some(2));
+        v.enable_cache(CacheConfig { max_stripes: 16, dirty_high_water: 16 });
+        let per = v.addressing.data_per_stripe();
+        let seed = pattern(v.data_elements() * 16, 41);
+        v.write(0, &seed).unwrap();
+        v.flush().unwrap();
+
+        // Park a background rebuild with its frontier inside partition 0
+        // (stripes 0..4 of the 2-partition map over 8 stripes).
+        v.set_spares(1);
+        v.fail_disk(3).unwrap();
+        v.maintain(1).unwrap();
+        let parked = v.rebuild_progress().expect("rebuild task active");
+        assert_eq!(parked.next_stripe, 1);
+        assert_eq!(v.partition_map().owner_of(parked.next_stripe), 0);
+
+        // Dirty one stripe in each partition, then drain only partition 1.
+        v.write(per, &pattern(16, 50)).unwrap();
+        v.write(6 * per, &pattern(16, 51)).unwrap();
+        assert_eq!(v.cache_dirty_stripes(), 2);
+        let receipt = v.flush_partition(1).unwrap();
+        assert!(receipt.total_writes() > 0, "partition 1's stripe must flush");
+        assert_eq!(v.cache_dirty_stripes(), 1, "partition 0's stripe stays dirty");
+        assert_eq!(
+            v.rebuild_progress().expect("task still active").next_stripe,
+            parked.next_stripe,
+            "flushing range B must not advance the rebuild frontier in range A"
+        );
+
+        // The parked rebuild still completes, and nothing was lost.
+        v.maintain(v.stripes).unwrap();
+        assert!(v.rebuild_progress().is_none());
+        v.flush().unwrap();
+        assert!(v.verify_all());
+    }
+
+    #[test]
+    fn partitioned_flush_accounts_like_single_partition() {
+        let run = |partitions: Option<usize>| {
+            let mut v =
+                RaidVolume::with_rotation(Arc::new(HvCode::new(7).unwrap()), 6, 16, false);
+            v.set_partitions(partitions);
+            v.enable_cache(CacheConfig { max_stripes: 16, dirty_high_water: 16 });
+            let per = v.addressing.data_per_stripe();
+            for s in 0..6 {
+                v.write(s * per, &pattern(32, s as u8)).unwrap();
+            }
+            let receipt = v.flush().unwrap();
+            assert!(v.verify_all());
+            let mut image = Vec::new();
+            for d in 0..v.disks() {
+                for i in 0..v.pipeline.backend().elements_per_disk() {
+                    let mut buf = vec![0u8; 16];
+                    v.pipeline.backend_mut().read(d, i, &mut buf).unwrap();
+                    image.push(buf);
+                }
+            }
+            (receipt, image)
+        };
+        let (serial, serial_img) = run(Some(1));
+        let (parted, parted_img) = run(Some(3));
+        assert_eq!(serial.per_disk_totals(), parted.per_disk_totals());
+        assert_eq!(serial.total(), parted.total());
+        assert_eq!(serial_img, parted_img, "flush order must not change bytes");
     }
 
     #[test]

@@ -8,7 +8,9 @@
 use std::sync::Arc;
 
 use integration::{all_codes, payload};
-use raid_array::{DiskBackend, FaultPoint, FaultyBackend, FileBackend, MemBackend, RaidVolume};
+use raid_array::{
+    DiskBackend, DiskRequest, FaultPoint, FaultyBackend, FileBackend, MemBackend, RaidVolume,
+};
 use raid_core::ArrayCode;
 
 const ELEMENT: usize = 16;
@@ -19,13 +21,23 @@ const STRIPES: usize = 2;
 /// of the conformance contract; injected faults get their own test below.
 const BACKENDS: [&str; 3] = ["mem", "file", "faulty"];
 
+/// Worker count for partitioned/batched paths, from `HV_THREADS` (the
+/// `make threads-smoke` knob). Defaults to 1: the plain run stays the
+/// plain run.
+fn env_threads() -> usize {
+    std::env::var("HV_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1).max(1)
+}
+
 fn make_backend(kind: &str, label: &str, disks: usize, epd: usize) -> Box<dyn DiskBackend> {
     match kind {
         "mem" => Box::new(MemBackend::new(disks, epd, ELEMENT)),
         "file" => {
             let dir = std::env::temp_dir().join(format!("hvraid_conformance_{label}"));
             let _ = std::fs::remove_dir_all(&dir);
-            Box::new(FileBackend::create(dir, disks, epd, ELEMENT).expect("temp dir writable"))
+            let mut be =
+                FileBackend::create(dir, disks, epd, ELEMENT).expect("temp dir writable");
+            be.set_io_threads(env_threads());
+            Box::new(be)
         }
         "faulty" => Box::new(FaultyBackend::new(
             Box::new(MemBackend::new(disks, epd, ELEMENT)),
@@ -45,7 +57,12 @@ fn cleanup(kind: &str, label: &str) {
 fn volume_on(code: &Arc<dyn ArrayCode>, kind: &str, label: &str) -> RaidVolume {
     let layout = code.layout();
     let backend = make_backend(kind, label, layout.cols(), STRIPES * layout.rows());
-    RaidVolume::new(Arc::clone(code), STRIPES, ELEMENT, backend).expect("shape matches")
+    let mut v =
+        RaidVolume::new(Arc::clone(code), STRIPES, ELEMENT, backend).expect("shape matches");
+    if env_threads() > 1 {
+        v.set_partitions(Some(env_threads()));
+    }
+    v
 }
 
 #[test]
@@ -141,6 +158,68 @@ fn two_injected_faults_still_serve_reads_for_every_code_and_prime() {
             // The volume can still be brought back to health.
             v.rebuild().unwrap();
             assert!(v.verify_all(), "{name} p={p}: rebuild after injected faults");
+        }
+    }
+}
+
+#[test]
+fn submit_batch_completions_conform_on_every_backend() {
+    let disks = 5;
+    let epd = 6;
+    for kind in BACKENDS {
+        let label = format!("sb_{kind}");
+        let mut be = make_backend(kind, &label, disks, epd);
+        for d in 0..disks {
+            be.write(d, 0, &[d as u8 + 1; ELEMENT]).unwrap();
+        }
+        let reqs = vec![
+            DiskRequest::Write { disk: 1, index: 2, data: vec![0xAB; ELEMENT] },
+            DiskRequest::Read { disk: 0, index: 0 },
+            // Read-after-write on the same disk within one batch: every
+            // backend must preserve per-disk submission order.
+            DiskRequest::Read { disk: 1, index: 2 },
+            DiskRequest::Write { disk: 3, index: 5, data: vec![0xCD; ELEMENT] },
+            DiskRequest::Read { disk: 3, index: 5 },
+            DiskRequest::Read { disk: 4, index: 0 },
+        ];
+        let comps = be.submit_batch(&reqs);
+        assert_eq!(comps.len(), reqs.len(), "{kind}: one completion per request");
+        assert!(matches!(comps[0], Ok(None)), "{kind}: write completes without bytes");
+        let bytes = |i: usize| comps[i].as_ref().unwrap().as_deref().unwrap().to_vec();
+        assert_eq!(bytes(1), vec![1u8; ELEMENT], "{kind}: read sees prior single write");
+        assert_eq!(bytes(2), vec![0xAB; ELEMENT], "{kind}: read-after-write in batch");
+        assert_eq!(bytes(4), vec![0xCD; ELEMENT], "{kind}: read-after-write in batch");
+        assert_eq!(bytes(5), vec![5u8; ELEMENT], "{kind}: untouched disk serves old data");
+        // The batch is durable: later single reads see the batch's writes.
+        let mut buf = vec![0u8; ELEMENT];
+        be.read(1, 2, &mut buf).unwrap();
+        assert_eq!(buf, vec![0xAB; ELEMENT], "{kind}: batch write is durable");
+        cleanup(kind, &label);
+    }
+}
+
+#[test]
+fn partitioned_batch_ops_conform_on_every_backend() {
+    let threads = env_threads().max(2);
+    for code in all_codes(7) {
+        let name = code.name().to_string();
+        for kind in BACKENDS {
+            let label = format!("pb_{kind}_{}", name.replace(' ', "_"));
+            let mut v = volume_on(&code, kind, &label);
+            v.set_partitions(Some(threads));
+            let data = payload(v.data_elements() * ELEMENT, 29);
+            v.write(0, &data).unwrap();
+            let enc = v.encode_all(threads).unwrap();
+            assert_eq!(enc.data_writes(), 0, "{name}/{kind}: encode writes parities only");
+            assert!(v.verify_all(), "{name}/{kind}: partitioned encode keeps parity");
+            v.fail_disk(0).unwrap();
+            v.fail_disk(v.disks() - 1).unwrap();
+            let reb = v.rebuild_all(threads).unwrap();
+            assert!(reb.total_writes() > 0, "{name}/{kind}");
+            assert!(v.verify_all(), "{name}/{kind}: partitioned rebuild restores parity");
+            let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+            assert_eq!(bytes, data, "{name}/{kind}: bytes survive partitioned rebuild");
+            cleanup(kind, &label);
         }
     }
 }

@@ -1,0 +1,194 @@
+//! Determinism of the partitioned stripe-range executor.
+//!
+//! Two properties the whole partition/shard design rests on:
+//!
+//! 1. **Order-independent shard merges.** Workers finish in whatever
+//!    order the scheduler likes; `IoLedger::merge_shards` must produce
+//!    the same ledger as a single sequential ledger absorbing the same
+//!    request sets, for *any* interleaving of shard completion.
+//! 2. **Partitioned execution is byte-identical to serial.** For every
+//!    code, running `encode_all`/`rebuild_all` over 1 partition or many
+//!    must leave the same disk image on the platters and account the
+//!    same merged totals.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use integration::{all_codes, payload};
+use raid_array::{run_partitioned, PartitionMap, RaidVolume};
+use raid_core::io::{IoLedger, LedgerShard, RequestSet};
+use raid_core::Stripe;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic synthetic request set for one stripe — shaped like a
+/// real lowered op (reads on most disks, a few data/parity writes).
+fn stripe_requests(disks: usize, stripe: usize, seed: u64) -> RequestSet {
+    let mut rs = RequestSet::new(disks);
+    let mut state = seed ^ (stripe as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    for disk in 0..disks {
+        rs.add_reads(disk, splitmix(&mut state) % 4);
+        if splitmix(&mut state).is_multiple_of(3) {
+            rs.add_data_write(disk);
+        }
+        if splitmix(&mut state).is_multiple_of(4) {
+            rs.add_parity_write(disk);
+        }
+    }
+    rs
+}
+
+/// Fisher–Yates with a seeded splitmix stream: a deterministic
+/// "interleaving" of worker completion order.
+fn permuted<T>(mut items: Vec<T>, mut seed: u64) -> Vec<T> {
+    for i in (1..items.len()).rev() {
+        let j = (splitmix(&mut seed) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+    items
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property 1: shards merged in any completion order equal the
+    /// sequential single-ledger run, for every code and p ∈ {5, 13}.
+    #[test]
+    fn shard_merge_any_interleaving_equals_sequential(
+        p in prop::sample::select(vec![5usize, 13]),
+        partitions in 1usize..6,
+        stripes in 1usize..12,
+        seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        for code in all_codes(p) {
+            let layout = code.layout();
+            let disks = layout.cols();
+
+            // Sequential reference: one ledger absorbing stripe request
+            // sets in stripe order, transitions noted per partition in
+            // partition order.
+            let map = PartitionMap::build(stripes, partitions);
+            let mut sequential = IoLedger::new(disks);
+            for part in 0..map.len() {
+                for stripe in map.partitions()[part].range() {
+                    sequential.absorb(&stripe_requests(disks, stripe, seed));
+                }
+                sequential.note_transition(format!("partition {part} drained"));
+            }
+
+            // Sharded run: one shard per partition, then merged after a
+            // seeded shuffle standing in for arbitrary completion order.
+            let mut shards = Vec::new();
+            for part in 0..map.len() {
+                let mut shard = LedgerShard::new(part, disks);
+                for stripe in map.partitions()[part].range() {
+                    shard.absorb(&stripe_requests(disks, stripe, seed));
+                }
+                shard.note_transition(format!("partition {part} drained"));
+                shards.push(shard);
+            }
+            let merged = IoLedger::merge_shards(disks, permuted(shards, perm_seed));
+
+            prop_assert_eq!(merged.total(), sequential.total(), "{}", code.name());
+            prop_assert_eq!(merged.per_disk_totals(), sequential.per_disk_totals());
+            prop_assert_eq!(merged.total_reads(), sequential.total_reads());
+            prop_assert_eq!(merged.data_writes(), sequential.data_writes());
+            prop_assert_eq!(merged.parity_writes(), sequential.parity_writes());
+            prop_assert_eq!(merged.transitions(), sequential.transitions(),
+                "transitions must come out in partition order, not completion order");
+        }
+    }
+
+    /// Property 1b: the live executor honors the same contract — the
+    /// shards `run_partitioned` hands back merge to the serial ledger no
+    /// matter how many workers raced over the map.
+    #[test]
+    fn run_partitioned_shards_merge_to_serial_ledger(
+        p in prop::sample::select(vec![5usize, 13]),
+        threads in 1usize..5,
+        stripes in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let code = all_codes(p).remove(0);
+        let layout = code.layout();
+        let disks = layout.cols();
+        let make = || {
+            (0..stripes)
+                .map(|i| {
+                    let mut s = Stripe::for_layout(layout, 8);
+                    s.fill_data_seeded(layout, seed ^ i as u64);
+                    s
+                })
+                .collect::<Vec<_>>()
+        };
+
+        let mut serial_stripes = make();
+        let map1 = PartitionMap::build(stripes, 1);
+        let (_, serial_shards) =
+            run_partitioned(&map1, disks, &mut serial_stripes, 1, |shard, i, stripe| {
+                code.encode(stripe);
+                shard.absorb(&stripe_requests(disks, i, seed));
+            });
+        let serial = IoLedger::merge_shards(disks, serial_shards);
+
+        let mut parted_stripes = make();
+        let map = PartitionMap::build(stripes, threads);
+        let (_, shards) =
+            run_partitioned(&map, disks, &mut parted_stripes, threads, |shard, i, stripe| {
+                code.encode(stripe);
+                shard.absorb(&stripe_requests(disks, i, seed));
+            });
+        let merged = IoLedger::merge_shards(disks, shards);
+
+        prop_assert_eq!(parted_stripes, serial_stripes, "stripe bytes must match serial");
+        prop_assert_eq!(merged.total(), serial.total());
+        prop_assert_eq!(merged.per_disk_totals(), serial.per_disk_totals());
+    }
+
+    /// Property 2: a volume driven through partitioned `encode_all` +
+    /// `rebuild_all` ends byte-identical to the serial run, with the same
+    /// merged receipt totals — for every code in the workspace.
+    #[test]
+    fn partitioned_volume_ops_match_serial_image(
+        p in prop::sample::select(vec![5usize, 13]),
+        seed in any::<u64>(),
+    ) {
+        let stripes = 4usize;
+        let es = 8usize;
+        for code in all_codes(p) {
+            let name = code.name().to_string();
+            let run = |parts: usize, threads: usize| {
+                let mut v =
+                    RaidVolume::in_memory(Arc::clone(&code), stripes, es);
+                v.set_partitions(Some(parts));
+                let data = payload(v.data_elements() * es, seed);
+                v.write(0, &data).unwrap();
+                let enc = v.encode_all(threads).unwrap();
+                v.fail_disk(1).unwrap();
+                v.fail_disk(code.layout().cols() - 1).unwrap();
+                let reb = v.rebuild_all(threads).unwrap();
+                assert!(v.verify_all(), "{name}");
+                let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+                (bytes, enc, reb, data)
+            };
+            let (serial_bytes, serial_enc, serial_reb, data) = run(1, 1);
+            let (parted_bytes, parted_enc, parted_reb, _) = run(4, 4);
+            prop_assert_eq!(&serial_bytes, &data, "{}", &name);
+            prop_assert_eq!(serial_bytes, parted_bytes, "{}", &name);
+            prop_assert_eq!(serial_enc.total(), parted_enc.total(), "{}", &name);
+            prop_assert_eq!(
+                serial_enc.per_disk_totals(), parted_enc.per_disk_totals(), "{}", &name);
+            prop_assert_eq!(serial_reb.total(), parted_reb.total(), "{}", &name);
+            prop_assert_eq!(
+                serial_reb.per_disk_totals(), parted_reb.per_disk_totals(), "{}", &name);
+        }
+    }
+}
