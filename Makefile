@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench bench-smoke chaos-smoke threads-smoke lint miri test-kernel-audit verify clean
+.PHONY: build test bench bench-smoke chaos-smoke threads-smoke tsan-smoke lint miri test-kernel-audit verify clean
 
 build:
 	$(CARGO) build --release
@@ -50,13 +50,30 @@ threads-smoke:
 	HV_THREADS=4 $(CARGO) test -q -p integration --test backend_conformance
 	$(CARGO) test -q -p integration --test partition_determinism
 
+# ThreadSanitizer over the partitioned-executor determinism suite.
+# -Zsanitizer=thread needs a nightly toolchain with rust-src; skipped with
+# a notice when unavailable (e.g. offline containers) — the exhaustive
+# schedule models (`hvraid lint --schedules`) still prove the cursor,
+# ledger-merge, and disk-queue protocols race-free without it.
+tsan-smoke:
+	@if $(CARGO) +nightly --version >/dev/null 2>&1 && \
+		rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src (installed)"; then \
+		RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+			$(CARGO) +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+			-q -p integration --test partition_determinism || exit 1; \
+	else \
+		echo "tsan-smoke: nightly + rust-src unavailable, skipping (see 'hvraid lint --schedules')"; \
+	fi
+
 # Static analysis gate: warnings-as-errors clippy across every target,
 # the (gated) miri pass over the unsafe kernels, then the symbolic
-# verifier proving every registered code at every default prime.
+# verifier proving every registered code at every default prime — now
+# including the partition-hazard, crash-journal, and schedule-exploration
+# proofs (itemized by the extra flags).
 lint:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
 	$(MAKE) miri
-	$(CARGO) run -q -p hvraid -- lint --all
+	$(CARGO) run -q -p hvraid -- lint --all --hazards --journal --schedules
 
 # Miri over the unsafe XOR kernels, time-boxed. Skipped with a notice when
 # the toolchain has no miri component (e.g. offline containers) — the
@@ -84,6 +101,7 @@ verify:
 	$(CARGO) test -q
 	$(MAKE) lint
 	$(MAKE) threads-smoke
+	$(MAKE) tsan-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) bench-smoke
 

@@ -66,16 +66,21 @@ commands:
                                            partition flush barriers + a partitioned
                                            encode pass to every episode
   lint      [--code <name>] [--p <prime>] [--all] [--json] [--opt]
-            [--min-savings <pct>]
+            [--min-savings <pct>] [--hazards] [--journal] [--schedules]
                                            statically verify compiled plans: symbolic
                                            GF(2) encode proof, optimizer-equivalence
                                            proof, exhaustive single/double erasure MDS
-                                           proof, paper-table cross-check (default:
+                                           proof, partition-hazard + crash-journal
+                                           proofs, paper-table cross-check (default:
                                            every code at p = 5 7 11 13 17); --opt also
                                            reports the XOR-read savings of the plan
                                            optimizer per code, and --min-savings fails
                                            any code saving less than <pct> percent of
-                                           the specification's XOR reads
+                                           the specification's XOR reads; --hazards
+                                           itemizes per-partition disk footprints,
+                                           --journal itemizes crash-prefix counts,
+                                           --schedules exhaustively model-checks the
+                                           executor's concurrent protocols
 
 codes: hv rdp evenodd xcode hcode hdp pcode liberation";
 
@@ -667,6 +672,11 @@ fn lint(parsed: &Parsed) -> Result<String, String> {
     // plan saves less than N percent of the specification's XOR reads
     // fails the lint — the Makefile's bench-smoke regression gate.
     let min_savings: f64 = parsed.get_or("min-savings", -1.0f64)?;
+    // The concurrency/crash auditors run inside every check_code call;
+    // these flags additionally itemize their evidence per combination.
+    let hazards = parsed.get_or("hazards", false)?;
+    let journal = parsed.get_or("journal", false)?;
+    let schedules = parsed.get_or("schedules", false)?;
     // `--all` is the default; the flag exists so scripts can say what they
     // mean. Naming a code restricts the sweep to it.
     let codes: Vec<String> = match parsed.flags.get("code") {
@@ -729,6 +739,66 @@ fn lint(parsed: &Parsed) -> Result<String, String> {
                         if report.encode_temps == 1 { "" } else { "s" },
                     ));
                 }
+            }
+            // Itemized evidence beyond check_code's pass/fail: the actual
+            // partition footprints and crash-prefix tallies.
+            if hazards || journal {
+                let code = raid_verify::build(name, p)?;
+                let layout = code.layout();
+                if hazards {
+                    let h = raid_verify::hazard::prove_layout_hazard_free(layout)
+                        .map_err(|e| format!("lint: {name} at p={p} FAILED\n  {e}"))?;
+                    if json {
+                        lines.push(h.encode_report.to_json());
+                    } else {
+                        lines.push(format!(
+                            "{:<10}       hazards: {} batches disjoint across {} \
+                             partitions (encode: {} ops over {} disks, 0 overlaps)",
+                            "",
+                            h.batches,
+                            h.partitions,
+                            h.encode_report.ops,
+                            h.encode_report.disks,
+                        ));
+                    }
+                }
+                if journal {
+                    let j = raid_verify::journal::prove_layout_journal(layout)
+                        .map_err(|e| format!("lint: {name} at p={p} FAILED\n  {e}"))?;
+                    if json {
+                        lines.push(format!(
+                            "{{\"code\":\"{name}\",\"p\":{p},\"journal_batches\":{},\
+                             \"journal_crash_points\":{}}}",
+                            j.batches, j.crash_points
+                        ));
+                    } else {
+                        lines.push(format!(
+                            "{:<10}       journal: {} crash prefixes across {} \
+                             batch/mode pairs replay to all-old-or-all-new",
+                            "", j.crash_points, j.batches,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if schedules {
+        // Code-independent: the executor's concurrent protocols are
+        // model-checked once, not per code/prime.
+        let results =
+            raid_verify::schedules::check_all_models().map_err(|e| format!("lint: {e}"))?;
+        for r in &results {
+            if json {
+                lines.push(format!(
+                    "{{\"model\":\"{}\",\"configs\":{},\"schedules\":{},\"max_depth\":{}}}",
+                    r.model, r.configs, r.schedules, r.max_depth
+                ));
+            } else {
+                lines.push(format!(
+                    "schedules: {:<6} — {} configs, {} interleavings explored, \
+                     max depth {} ✔",
+                    r.model, r.configs, r.schedules, r.max_depth
+                ));
             }
         }
     }
@@ -1002,6 +1072,41 @@ mod tests {
         assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
         assert!(out.contains("\"code\":\"xcode\""), "{out}");
         assert!(out.contains("\"paper_match\":true"), "{out}");
+    }
+
+    #[test]
+    fn lint_hazards_and_journal_itemize_their_evidence() {
+        let out = run_line(&[
+            "lint", "--code", "hv", "--p", "5", "--hazards", "--journal",
+        ])
+        .unwrap();
+        assert!(out.contains("hazards: 5 batches disjoint across 3 partitions"), "{out}");
+        assert!(out.contains("0 overlaps"), "{out}");
+        assert!(out.contains("replay to all-old-or-all-new"), "{out}");
+        assert!(out.contains("6 batch/mode pairs"), "{out}");
+    }
+
+    #[test]
+    fn lint_hazards_json_reports_zero_hazards_and_footprints() {
+        let out = run_line(&[
+            "lint", "--code", "rdp", "--p", "5", "--json", "--hazards", "--journal",
+        ])
+        .unwrap();
+        assert!(out.contains("\"hazards\":0"), "{out}");
+        assert!(out.contains("\"partitions\":["), "{out}");
+        assert!(out.contains("\"journal_crash_points\":"), "{out}");
+    }
+
+    #[test]
+    fn lint_schedules_model_checks_the_executor_protocols() {
+        let out = run_line(&[
+            "lint", "--code", "hv", "--p", "5", "--schedules",
+        ])
+        .unwrap();
+        for model in ["cursor", "merge", "queue"] {
+            assert!(out.contains(&format!("schedules: {model}")), "{model}: {out}");
+        }
+        assert!(out.contains("interleavings explored"), "{out}");
     }
 
     #[test]

@@ -1426,6 +1426,79 @@ mod tests {
     }
 
     #[test]
+    fn faulty_op_count_schedules_fire_identically_singly_and_batched() {
+        // The FaultyBackend deliberately keeps the strictly sequential
+        // default submit_batch so its op counter — the clock every
+        // schedule is expressed in — advances identically whether the
+        // caller issues requests one by one or as a batch. Sweep the
+        // trigger across every position of a 5-request workload, with a
+        // FaultPoint (disk death), a CrashAtOp, and sector-level faults
+        // in the mix, and require bit-identical outcomes.
+        let schedules: Vec<(Vec<FaultPoint>, Vec<Fault>)> = (1..=6)
+            .flat_map(|at| {
+                vec![
+                    (vec![FaultPoint { at_op: at, disk: 0 }], vec![]),
+                    (vec![], vec![Fault::CrashAtOp { at_op: at }]),
+                ]
+            })
+            .chain([
+                (vec![], vec![Fault::Transient { disk: 1, ops: 1 }]),
+                (vec![], vec![Fault::LatentSector { disk: 1, index: 3 }]),
+                (
+                    vec![FaultPoint { at_op: 4, disk: 2 }],
+                    vec![Fault::Transient { disk: 0, ops: 2 }],
+                ),
+            ])
+            .collect();
+        for (points, faults) in schedules {
+            let make = || {
+                FaultyBackend::new(Box::new(MemBackend::new(3, 4, 8)), points.clone())
+                    .with_faults(faults.iter().copied())
+            };
+            let batch = sample_batch(8);
+
+            let mut singly = make();
+            let single_results: Vec<DiskCompletion> = batch
+                .iter()
+                .map(|req| match req {
+                    DiskRequest::Read { disk, index } => {
+                        let mut buf = vec![0u8; 8];
+                        singly.read(*disk, *index, &mut buf).map(|()| Some(buf))
+                    }
+                    DiskRequest::Write { disk, index, data } => {
+                        singly.write(*disk, *index, data).map(|()| None)
+                    }
+                })
+                .collect();
+
+            let mut batched = make();
+            let batch_results = batched.submit_batch(&batch);
+
+            let label = format!("points {points:?} faults {faults:?}");
+            assert_eq!(single_results, batch_results, "{label}");
+            assert_eq!(singly.ops(), batched.ops(), "{label}: op clocks diverged");
+            assert_eq!(singly.crashed(), batched.crashed(), "{label}");
+            for disk in 0..3 {
+                assert_eq!(singly.is_failed(disk), batched.is_failed(disk), "{label}");
+            }
+            // Whatever reached the disks must match too: restart both
+            // "processes" and compare every element.
+            singly.clear_crash();
+            batched.clear_crash();
+            for disk in 0..3 {
+                for index in 0..4 {
+                    let mut a = vec![0u8; 8];
+                    let mut b = vec![0u8; 8];
+                    let ra = singly.read(disk, index, &mut a);
+                    let rb = batched.read(disk, index, &mut b);
+                    assert_eq!(ra, rb, "{label}: ({disk},{index})");
+                    assert_eq!(a, b, "{label}: bytes at ({disk},{index})");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn faulty_backend_fails_on_schedule() {
         let inner = MemBackend::new(3, 4, 8);
         let mut b = FaultyBackend::new(

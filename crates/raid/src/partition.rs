@@ -123,7 +123,11 @@ impl PartitionMap {
     ///
     /// Panics if `stripe` is outside the map.
     pub fn owner_of(&self, stripe: usize) -> usize {
-        assert!(stripe < self.stripes.max(1), "stripe {stripe} outside partition map");
+        // Checked against `stripes`, not `stripes.max(1)`: a zero-stripe
+        // map owns nothing, and its single empty partition would send the
+        // probe below out of bounds (an index panic instead of this
+        // message).
+        assert!(stripe < self.stripes, "stripe {stripe} outside partition map");
         // Near-equal ranges: the owner is within one step of the
         // proportional guess, so this probe is O(1).
         let mut guess = (stripe * self.parts.len() / self.stripes.max(1))
@@ -212,6 +216,22 @@ where
                     for p in owned.chain(stealable) {
                         let end = map.partitions()[p].end;
                         loop {
+                            // `Relaxed` is sufficient — and audited, see
+                            // `raid_verify::schedules`. The invariant the
+                            // cursor upholds is *ticket uniqueness*: a
+                            // single atomic RMW hands each index to
+                            // exactly one worker, which needs only the
+                            // RMW's total order on this one cell, not any
+                            // cross-variable ordering. No data is
+                            // published through the cursor: the stripe
+                            // hand-off (and its happens-before edge) goes
+                            // through the `slots[i]` Mutex below, and
+                            // shard results flow through `scope` join.
+                            // Overshoot is bounded, not prevented: every
+                            // worker that loses the race draws one ticket
+                            // past `end` and leaves, so the cursor never
+                            // exceeds `end + workers` (regression test
+                            // `overshoot_is_bounded_under_steal_pressure`).
                             let i = cursors[p].fetch_add(1, Ordering::Relaxed);
                             if i >= end {
                                 break;
@@ -285,6 +305,139 @@ mod tests {
     #[should_panic(expected = "outside partition map")]
     fn owner_of_rejects_out_of_range() {
         PartitionMap::build(4, 2).owner_of(4);
+    }
+
+    #[test]
+    fn owner_of_at_exact_range_boundaries() {
+        // 10 stripes / 3 partitions → [0,4) [4,7) [7,10): every boundary
+        // stripe (last-of-range and first-of-next) must resolve to the
+        // right side.
+        let map = PartitionMap::build(10, 3);
+        let ranges: Vec<_> = map.partitions().iter().map(Partition::range).collect();
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+        for (p, r) in ranges.iter().enumerate() {
+            assert_eq!(map.owner_of(r.start), p, "first stripe of partition {p}");
+            assert_eq!(map.owner_of(r.end - 1), p, "last stripe of partition {p}");
+        }
+    }
+
+    #[test]
+    fn build_with_non_divisible_stripe_counts() {
+        // Remainder stripes go to the leading partitions, one each.
+        for (stripes, parts) in [(10usize, 4usize), (7, 3), (11, 5), (13, 6)] {
+            let map = PartitionMap::build(stripes, parts);
+            let sizes: Vec<usize> = map.partitions().iter().map(Partition::len).collect();
+            assert_eq!(sizes.iter().sum::<usize>(), stripes);
+            let extra = stripes % parts;
+            for (i, &s) in sizes.iter().enumerate() {
+                let want = stripes / parts + usize::from(i < extra);
+                assert_eq!(s, want, "{stripes}x{parts} partition {i}");
+            }
+            for stripe in 0..stripes {
+                assert!(map.partitions()[map.owner_of(stripe)].contains(stripe));
+            }
+        }
+    }
+
+    #[test]
+    fn single_stripe_map_degenerates_to_one_partition() {
+        for requested in [1usize, 2, 17] {
+            let map = PartitionMap::build(1, requested);
+            assert_eq!(map.len(), 1);
+            assert_eq!(map.partitions()[0].range(), 0..1);
+            assert_eq!(map.owner_of(0), 0);
+            assert_eq!(map.split_range(0..1), vec![(0, 0..1)]);
+        }
+    }
+
+    #[test]
+    fn zero_stripe_map_keeps_shape_and_owns_nothing() {
+        let map = PartitionMap::build(0, 4);
+        assert_eq!(map.stripes(), 0);
+        assert_eq!(map.len(), 1, "one empty partition for shape stability");
+        assert!(map.partitions()[0].is_empty());
+        assert!(map.split_range(0..0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside partition map")]
+    fn zero_stripe_map_rejects_owner_of_zero() {
+        // Regression: this used to trip an index-out-of-bounds panic in
+        // the probe loop instead of the intended assertion message.
+        PartitionMap::build(0, 2).owner_of(0);
+    }
+
+    #[test]
+    fn auto_covers_every_stripe_for_awkward_counts() {
+        for stripes in [0usize, 1, 2, 5, 7, 9, 13] {
+            let map = PartitionMap::auto(stripes);
+            assert_eq!(map.stripes(), stripes);
+            assert!(map.len() <= stripes.max(1));
+            let mut covered = 0;
+            for p in map.partitions() {
+                assert_eq!(p.start, covered);
+                covered = p.end;
+            }
+            assert_eq!(covered, stripes);
+        }
+    }
+
+    /// Regression for cursor overshoot: many stealers racing one small
+    /// partition each draw at most one ticket past `range.end`, so the
+    /// shared cursor never exceeds `end + stealers` — and every stripe is
+    /// still claimed exactly once.
+    #[test]
+    fn overshoot_is_bounded_under_steal_pressure() {
+        for stealers in [2usize, 4, 8] {
+            let end = 3usize;
+            let cursor = AtomicUsize::new(0);
+            let claimed: Vec<AtomicUsize> = (0..end).map(|_| AtomicUsize::new(0)).collect();
+            crossbeam::thread::scope(|s| {
+                for _ in 0..stealers {
+                    s.spawn(|_| loop {
+                        // The exact claim protocol of `run_partitioned`.
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= end {
+                            break;
+                        }
+                        claimed[i].fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+            .unwrap();
+            let final_cursor = cursor.load(Ordering::Relaxed);
+            assert!(
+                (end + 1..=end + stealers).contains(&final_cursor),
+                "{stealers} stealers left cursor at {final_cursor}"
+            );
+            for (i, c) in claimed.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "stripe {i} claim count");
+            }
+        }
+    }
+
+    #[test]
+    fn run_partitioned_survives_overshooting_workers() {
+        // More workers than stripes in every partition: every worker
+        // overshoots every cursor it touches, and each stripe must still
+        // execute exactly once with its result in place.
+        let code = hv_code::HvCode::new(5).unwrap();
+        let mut stripes: Vec<Stripe> =
+            (0..3).map(|_| Stripe::for_layout(code.layout(), 8)).collect();
+        let map = PartitionMap::build(stripes.len(), 3);
+        let executed: Vec<AtomicUsize> =
+            (0..stripes.len()).map(|_| AtomicUsize::new(0)).collect();
+        let (results, shards) =
+            run_partitioned(&map, 1, &mut stripes, 8, |shard, i, _stripe| {
+                executed[i].fetch_add(1, Ordering::Relaxed);
+                shard.add_reads(0, 1);
+                i
+            });
+        assert_eq!(results, vec![0, 1, 2]);
+        for (i, e) in executed.iter().enumerate() {
+            assert_eq!(e.load(Ordering::Relaxed), 1, "stripe {i} executed more than once");
+        }
+        assert_eq!(IoLedger::merge_shards(1, shards).total_reads(), 3);
     }
 
     #[test]

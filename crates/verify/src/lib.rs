@@ -13,6 +13,12 @@
 //!   per-`p` MDS proof ([`plan_check::prove_mds`]);
 //! * [`report`] — structural metrics checked against the paper's
 //!   closed-form table values, rendered as JSON;
+//! * [`hazard`] — the partition-hazard auditor: cross-partition
+//!   footprint disjointness for every batched path the volume lowers;
+//! * [`journal`] — the crash-consistency proof: every crash prefix of
+//!   both undo-journal protocols replays to all-old-or-all-new;
+//! * [`schedules`] — exhaustive small-model checking of the executor's
+//!   concurrent protocols over the `interleave` shim;
 //! * the `LoweredOp` audit itself lives in `raid_array::audit` (this
 //!   crate sits above `raid-array` in the dependency graph, so the
 //!   pipeline can also self-audit under `debug_assertions`); it is
@@ -25,8 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod coalesce;
+pub mod hazard;
+pub mod journal;
 pub mod plan_check;
 pub mod report;
+pub mod schedules;
 pub mod symbolic;
 
 pub use raid_array::audit;
@@ -83,6 +92,10 @@ pub enum CheckError {
     Plan(PlanError),
     /// A coalesced cache-flush program failed symbolic verification.
     Coalesce(coalesce::CoalesceError),
+    /// A partitioned batch has a cross-partition footprint hazard.
+    Hazard(hazard::HazardError),
+    /// An undo-journal crash prefix fails to restore all-old-or-all-new.
+    Journal(journal::JournalError),
     /// The layout deviates from the paper's published table values.
     PaperMismatch(Vec<String>),
 }
@@ -93,6 +106,8 @@ impl std::fmt::Display for CheckError {
             CheckError::Build(msg) => write!(f, "{msg}"),
             CheckError::Plan(e) => write!(f, "{e}"),
             CheckError::Coalesce(e) => write!(f, "{e}"),
+            CheckError::Hazard(e) => write!(f, "{e}"),
+            CheckError::Journal(e) => write!(f, "{e}"),
             CheckError::PaperMismatch(diffs) => {
                 write!(f, "layout deviates from the paper: {}", diffs.join("; "))
             }
@@ -106,7 +121,9 @@ impl std::error::Error for CheckError {}
 /// that the cached (optimizer-rewritten) encode plan is GF(2)-equivalent
 /// to the chain specification and never costs more reads than the
 /// cascaded chain walk, exhaustive single/double-erasure MDS proof (which
-/// itself re-proves every optimized decode plan), and paper-table check.
+/// itself re-proves every optimized decode plan), coalesced-flush proof,
+/// partition-hazard audit and all-crash-prefix journal proof over the
+/// volume's modeled batches, and paper-table check.
 ///
 /// # Errors
 ///
@@ -139,6 +156,14 @@ pub fn check_code(name: &str, p: usize) -> Result<CodeReport, CheckError> {
     // modes, across representative dirty subsets) must compute exactly
     // the parity algebra over the double-height old/new grid.
     coalesce::prove_layout_flushes(layout).map_err(CheckError::Coalesce)?;
+    // Every batched path the volume lowers must have partition-disjoint
+    // backend footprints (no two workers can touch the same bytes, and
+    // batched phase separation never serves a read stale) …
+    let hazards = hazard::prove_layout_hazard_free(layout).map_err(CheckError::Hazard)?;
+    // … and replaying the undo journal from every crash prefix of those
+    // batches must restore exactly all-old or all-new, per stripe, in
+    // both journal protocols.
+    let journal = journal::prove_layout_journal(layout).map_err(CheckError::Journal)?;
 
     let metrics = CodeMetrics::measure(layout);
     let paper_diffs = match paper_expectation(name, p) {
@@ -160,6 +185,8 @@ pub fn check_code(name: &str, p: usize) -> Result<CodeReport, CheckError> {
         encode_temps: cached.num_temps(),
         mds_singles: mds.singles,
         mds_pairs: mds.pairs,
+        hazard_batches: hazards.batches,
+        journal_crash_points: journal.crash_points,
         paper_diffs,
     })
 }
