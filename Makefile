@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench bench-smoke chaos-smoke threads-smoke tsan-smoke lint miri test-kernel-audit verify clean
+.PHONY: build test bench bench-smoke chaos-smoke fleet-smoke threads-smoke tsan-smoke lint miri test-kernel-audit verify clean
 
 build:
 	$(CARGO) build --release
@@ -40,6 +40,21 @@ chaos-smoke:
 	$(CARGO) run -q --release -p hvraid -- chaos --seed 1 --episodes 25
 	$(CARGO) run -q --release -p hvraid -- chaos --seed 2 --episodes 25 --backend mem --spares 0
 	$(CARGO) run -q --release -p hvraid -- chaos --seed 3 --episodes 25 --threads 4 --stripes 8
+
+# Seeded fleet reliability campaign: the same small fleet twice, with
+# the JSON reports required byte-identical (the harness's determinism
+# contract), zero data loss at the default-ish settings, and the pinned
+# report schema version. Plus the QoS pinned test: the adaptive rebuild
+# throttle must bound foreground p99 inflation vs a flat-out rebuild.
+fleet-smoke:
+	$(CARGO) run -q --release -p hvraid -- fleet --volumes 12 --hours 96 --seed 5 --stripes 8 --element 16 --json > /tmp/hvraid-fleet-a.json
+	$(CARGO) run -q --release -p hvraid -- fleet --volumes 12 --hours 96 --seed 5 --stripes 8 --element 16 --json > /tmp/hvraid-fleet-b.json
+	cmp /tmp/hvraid-fleet-a.json /tmp/hvraid-fleet-b.json
+	grep -q '"schema_version": 1' /tmp/hvraid-fleet-a.json
+	grep -q '"data_loss_events": 0' /tmp/hvraid-fleet-a.json
+	rm -f /tmp/hvraid-fleet-a.json /tmp/hvraid-fleet-b.json
+	$(CARGO) test -q -p integration --test fleet_qos
+	$(CARGO) test -q -p integration --test reliability_invariants
 
 # Backend conformance under the partitioned executor: the same suite at
 # 2 and 4 worker threads (HV_THREADS pins the volume's partition count
@@ -103,6 +118,7 @@ verify:
 	$(MAKE) threads-smoke
 	$(MAKE) tsan-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) bench-smoke
 
 clean:

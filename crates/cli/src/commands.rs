@@ -65,6 +65,19 @@ commands:
                                            --threads N pins N stripe partitions and adds
                                            partition flush barriers + a partitioned
                                            encode pass to every episode
+  fleet     [--volumes 100] [--hours 336] [--seed 42] [--code hv] [--p 5]
+            [--stripes 24] [--element 64] [--spares <volumes/8>]
+            [--replenish 24] [--scale 1500] [--qos true] [--json]
+                                           seeded fleet reliability campaign:
+                                           Weibull disk failures and latent
+                                           corruption across --volumes arrays,
+                                           shared spare pool (--spares capacity,
+                                           --replenish hours to restock), scrub
+                                           scheduler, adaptive rebuild-vs-
+                                           foreground throttle (--qos false
+                                           rebuilds flat-out), measured MTTR fed
+                                           back into the MTTDL model; --json is
+                                           byte-identical for a fixed seed
   lint      [--code <name>] [--p <prime>] [--all] [--json] [--opt]
             [--min-savings <pct>] [--hazards] [--journal] [--schedules]
                                            statically verify compiled plans: symbolic
@@ -115,6 +128,7 @@ pub fn run_with_status(parsed: &Parsed) -> Result<(String, u8), String> {
                 "batch" => batch(parsed),
                 "volume" => volume_lifecycle(parsed),
                 "chaos" => chaos_campaign(parsed),
+                "fleet" => fleet_campaign(parsed),
                 "lint" => lint(parsed),
                 "help" | "--help" => Ok(USAGE.to_string()),
                 _ => Err(format!("unknown command '{other}'\n\n{USAGE}")),
@@ -665,6 +679,50 @@ fn chaos_campaign(parsed: &Parsed) -> Result<String, String> {
     ))
 }
 
+fn fleet_campaign(parsed: &Parsed) -> Result<String, String> {
+    let name = parsed.get_or("code", "hv".to_string())?;
+    let p = parsed.get_or("p", 5usize)?;
+    let code = build(&name, p)?;
+    let defaults = raid_fleet::FleetConfig::default();
+    let volumes: usize = parsed.get_or("volumes", defaults.volumes)?;
+    let cfg = raid_fleet::FleetConfig {
+        volumes,
+        hours: parsed.get_or("hours", defaults.hours)?,
+        seed: parsed.get_or("seed", defaults.seed)?,
+        stripes: parsed.get_or("stripes", defaults.stripes)?,
+        element_size: parsed.get_or("element", defaults.element_size)?,
+        spare_capacity: parsed
+            .get_or("spares", raid_fleet::FleetConfig::default_spares_for(volumes))?,
+        spare_replenish_h: parsed.get_or("replenish", defaults.spare_replenish_h)?,
+        fail_scale_h: parsed.get_or("scale", defaults.fail_scale_h)?,
+        qos: parsed.get_or("qos", defaults.qos)?,
+        ..defaults
+    };
+    // The library asserts its domain; turn the user-reachable ones into
+    // messages instead of panics.
+    if cfg.volumes == 0 {
+        return Err("--volumes must be at least 1".to_string());
+    }
+    if cfg.hours.is_nan() || cfg.hours <= 0.0 {
+        return Err("--hours must be positive".to_string());
+    }
+    if cfg.stripes == 0 || cfg.element_size == 0 {
+        return Err("--stripes and --element must be positive".to_string());
+    }
+    if cfg.fail_scale_h.is_nan() || cfg.fail_scale_h <= 0.0 {
+        return Err("--scale must be positive".to_string());
+    }
+    if cfg.spare_replenish_h.is_nan() || cfg.spare_replenish_h < 0.0 {
+        return Err("--replenish cannot be negative".to_string());
+    }
+    let report = raid_fleet::run(&code, &cfg);
+    if parsed.get_or("json", false)? {
+        Ok(report.to_json())
+    } else {
+        Ok(format!("{report}\nreproduce with `hvraid fleet --seed {}`", cfg.seed))
+    }
+}
+
 fn lint(parsed: &Parsed) -> Result<String, String> {
     let json = parsed.get_or("json", false)?;
     let opt = parsed.get_or("opt", false)?;
@@ -824,6 +882,33 @@ mod tests {
 
     fn run_line_status(line: &[&str]) -> Result<(String, u8), String> {
         run_with_status(&parse(line.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn fleet_reports_and_json_is_deterministic() {
+        let line = [
+            "fleet", "--volumes", "4", "--hours", "72", "--seed", "9", "--stripes", "8",
+            "--element", "16", "--scale", "120", "--spares", "2",
+        ];
+        let human = run_line(&line).unwrap();
+        assert!(human.contains("fleet: 4 volumes"), "{human}");
+        assert!(human.contains("reproduce with `hvraid fleet --seed 9`"), "{human}");
+
+        let mut json_line = line.to_vec();
+        json_line.push("--json");
+        let a = run_line(&json_line).unwrap();
+        let b = run_line(&json_line).unwrap();
+        assert_eq!(a, b, "seeded fleet JSON must be byte-identical");
+        assert!(a.contains("\"schema_version\": 1"), "{a}");
+        assert!(a.contains("\"volumes\": 4"), "{a}");
+        assert!(a.contains("\"models\""), "{a}");
+    }
+
+    #[test]
+    fn fleet_rejects_bad_domains() {
+        assert!(run_line(&["fleet", "--volumes", "0"]).is_err());
+        assert!(run_line(&["fleet", "--volumes", "2", "--hours", "0"]).is_err());
+        assert!(run_line(&["fleet", "--volumes", "2", "--scale", "-5"]).is_err());
     }
 
     #[test]

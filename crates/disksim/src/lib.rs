@@ -24,8 +24,10 @@
 
 pub mod array;
 pub mod profile;
+pub mod queue;
 pub mod recovery;
 pub mod stats;
 
 pub use array::{DiskArray, DiskError, ErrorClass};
 pub use profile::DiskProfile;
+pub use queue::DiskQueues;

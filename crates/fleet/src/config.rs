@@ -1,0 +1,112 @@
+//! Fleet-run parameters.
+
+use disk_sim::DiskProfile;
+use raid_array::ThrottleConfig;
+
+/// Parameters of one fleet run.
+///
+/// The defaults describe an *accelerated-life* campaign: Weibull failure
+/// arrivals with a 1 500-hour characteristic life compress years of
+/// field exposure into a two-week simulated horizon so a 100-volume
+/// fleet produces tens of rebuild episodes, while the analytic MTTDL
+/// model still consumes the datasheet [`FleetConfig::mttf_hours`] — the
+/// acceleration changes how often repairs are *observed*, not how the
+/// repair windows feed the Markov chain.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Volumes in the fleet.
+    pub volumes: usize,
+    /// Simulated horizon, hours.
+    pub hours: f64,
+    /// Master seed; every volume derives its own streams from it.
+    pub seed: u64,
+    /// Stripes per volume.
+    pub stripes: usize,
+    /// Element size per volume, bytes (kept tiny — timing is modeled
+    /// through [`DiskProfile`], not through buffer sizes).
+    pub element_size: usize,
+    /// Disk service-time model for both queueing and the analytic
+    /// rebuild estimates.
+    pub profile: DiskProfile,
+    /// Weibull shape of disk lifetimes (>1 = wear-out).
+    pub fail_shape: f64,
+    /// Weibull scale (characteristic life) of disk lifetimes, hours.
+    /// Deliberately short — an accelerated-life campaign.
+    pub fail_scale_h: f64,
+    /// Datasheet per-disk MTTF fed to the analytic and measured MTTDL
+    /// models, hours.
+    pub mttf_hours: f64,
+    /// Mean interval between latent/silent-corruption arrivals per
+    /// volume, hours (exponential arrivals; scrubbing is what finds
+    /// them).
+    pub latent_mean_h: f64,
+    /// Hot spares the shared pool starts with (and its capacity).
+    pub spare_capacity: usize,
+    /// Delay to restock one consumed spare, hours.
+    pub spare_replenish_h: f64,
+    /// Scrub cadence per volume, hours (volumes are staggered across the
+    /// interval so the fleet never scrubs in lockstep).
+    pub scrub_interval_h: f64,
+    /// Scheduling-tick length, hours.
+    pub tick_h: f64,
+    /// Foreground writes issued per volume per tick.
+    pub fg_writes_per_tick: usize,
+    /// Elements per foreground write.
+    pub fg_write_len: usize,
+    /// Zipf skew of the foreground trace (0 = uniform).
+    pub fg_theta: f64,
+    /// Adaptive rebuild throttling: `true` paces rebuild I/O off
+    /// foreground p99, `false` rebuilds at the throttle ceiling
+    /// unconditionally.
+    pub qos: bool,
+    /// Throttle controller tuning.
+    pub throttle: ThrottleConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            volumes: 100,
+            hours: 336.0,
+            seed: 42,
+            stripes: 24,
+            element_size: 64,
+            profile: DiskProfile::savvio_10k(),
+            fail_shape: 1.2,
+            fail_scale_h: 1_500.0,
+            mttf_hours: 1_000_000.0,
+            latent_mean_h: 150.0,
+            spare_capacity: 12,
+            spare_replenish_h: 24.0,
+            scrub_interval_h: 168.0,
+            tick_h: 1.0,
+            fg_writes_per_tick: 4,
+            fg_write_len: 2,
+            fg_theta: 0.9,
+            qos: true,
+            throttle: ThrottleConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The spare capacity a fleet of `volumes` defaults to: one spare
+    /// per eight volumes, at least two.
+    pub fn default_spares_for(volumes: usize) -> usize {
+        (volumes / 8).max(2)
+    }
+
+    /// Panics with a message if a parameter is out of its domain.
+    pub(crate) fn validate(&self) {
+        assert!(self.volumes > 0, "need at least one volume");
+        assert!(self.hours > 0.0, "need a positive horizon");
+        assert!(self.tick_h > 0.0, "need a positive tick");
+        assert!(self.stripes > 0 && self.element_size > 0, "need a non-empty volume");
+        assert!(self.fail_shape > 0.0 && self.fail_scale_h > 0.0, "bad Weibull parameters");
+        assert!(self.mttf_hours > 0.0, "MTTF must be positive");
+        assert!(self.latent_mean_h > 0.0, "latent arrival mean must be positive");
+        assert!(self.spare_replenish_h >= 0.0, "replenish delay cannot be negative");
+        assert!(self.scrub_interval_h > 0.0, "scrub interval must be positive");
+        assert!(self.fg_write_len > 0, "foreground writes need a length");
+    }
+}

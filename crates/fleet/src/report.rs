@@ -1,0 +1,411 @@
+//! The machine-readable outcome of a fleet run.
+//!
+//! [`FleetReport`] is the harness's product: MTTR distributions,
+//! data-loss events, spare-pool occupancy, degraded-window fractions,
+//! scrub coverage, throttle behavior, and the analytic-vs-measured model
+//! comparison. [`FleetReport::to_json`] renders it with fixed key order
+//! and fixed-precision floats so a seeded run is byte-identical across
+//! hosts — the `fleet-smoke` gate diffs two runs.
+
+use std::fmt;
+
+/// Summary statistics of one sample population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistSummary {
+    /// Samples observed.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl DistSummary {
+    /// Summarizes `samples` (sorted in place); `None` when empty.
+    pub fn from(samples: &mut [f64]) -> Option<DistSummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        Some(DistSummary {
+            count: samples.len() as u64,
+            mean,
+            p50: percentile(samples, 0.50),
+            p95: percentile(samples, 0.95),
+            max: *samples.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// Shared hot-spare pool over the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpareStats {
+    /// Pool capacity (and initial stock).
+    pub capacity: usize,
+    /// Spares granted to volumes.
+    pub grants: u64,
+    /// Spare requests that arrived while the pool was empty.
+    pub exhausted_requests: u64,
+    /// Lowest occupancy seen.
+    pub min_available: usize,
+    /// Mean wait from request to grant, hours (0 with no grants).
+    pub mean_wait_h: f64,
+    /// Occupancy timeline: `(hour, available)` at every change,
+    /// starting at `(0, capacity)`.
+    pub timeline: Vec<(f64, usize)>,
+}
+
+/// Scrub scheduler counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Whole-volume scrub passes completed.
+    pub passes: u64,
+    /// Stripes checked across all passes.
+    pub stripes_scrubbed: u64,
+    /// Due passes deferred because the volume was degraded (a degraded
+    /// scrub cannot tell corruption from loss).
+    pub deferred: u64,
+    /// Silent corruptions the arrival process injected.
+    pub corruptions_injected: u64,
+    /// Corruptions a scrub pass localized and repaired in place.
+    pub repaired: u64,
+    /// Stripes whose damage a scrub could not localize.
+    pub unlocalizable: u64,
+}
+
+/// Rebuild-throttle behavior over the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleStats {
+    /// Whether adaptive pacing was on.
+    pub qos: bool,
+    /// Mean granted rate over rebuild ticks, stripes per tick.
+    pub mean_rate: f64,
+    /// Multiplicative-backoff events.
+    pub backoffs: u64,
+    /// Rebuild ticks spent pinned at the floor rate.
+    pub min_rate_ticks: u64,
+    /// Ticks with an active rebuild.
+    pub rebuild_ticks: u64,
+}
+
+/// Foreground service quality over the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForegroundStats {
+    /// Foreground writes served.
+    pub ops: u64,
+    /// p99 latency over ticks with no rebuild and no failures, ms.
+    pub p99_healthy_ms: f64,
+    /// p99 latency over ticks with an active rebuild, ms (0 when no
+    /// rebuild ever ran).
+    pub p99_rebuild_ms: f64,
+    /// `p99_rebuild / p99_healthy` (0 when either side is empty).
+    pub inflation: f64,
+}
+
+/// Analytic closed forms next to their measured replacements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelStats {
+    /// Closed-form single-disk rebuild time, ms.
+    pub analytic_rebuild_single_ms: f64,
+    /// Closed-form double-disk rebuild time, ms.
+    pub analytic_rebuild_double_ms: f64,
+    /// MTTDL from the closed-form rebuild windows, hours.
+    pub analytic_mttdl_h: f64,
+    /// Mean measured rebuild disk time (ledger I/O ÷ modeled bandwidth,
+    /// bottleneck disk), ms; `None` with no completed rebuilds.
+    pub measured_rebuild_io_ms: Option<f64>,
+    /// Mean measured wall MTTR — failure to rebuilt, including spare
+    /// wait and throttling — hours; `None` with no completed rebuilds.
+    pub measured_mttr_h: Option<f64>,
+    /// MTTDL with the measured MTTR substituted for the closed-form
+    /// repair windows, hours.
+    pub measured_mttdl_h: Option<f64>,
+    /// `(measured_io − analytic_single) / analytic_single × 100`.
+    pub rebuild_io_delta_pct: Option<f64>,
+    /// `measured_mttdl / analytic_mttdl`.
+    pub mttdl_measured_over_analytic: Option<f64>,
+}
+
+/// Everything a fleet run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Code under test.
+    pub code: String,
+    /// Disks per volume.
+    pub disks: usize,
+    /// Volumes simulated.
+    pub volumes: usize,
+    /// Simulated horizon, hours.
+    pub hours: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Stripes per volume.
+    pub stripes: usize,
+    /// Element size, bytes.
+    pub element_size: usize,
+    /// Disk-failure arrivals processed.
+    pub disk_failures: u64,
+    /// Disks rebuilt onto spares.
+    pub rebuilds_completed: u64,
+    /// Volumes that hit a third concurrent failure.
+    pub data_loss_events: u64,
+    /// `(volume, hour)` of each data-loss event.
+    pub lost_volumes: Vec<(usize, f64)>,
+    /// Wall MTTR distribution, hours; `None` with no completed rebuilds.
+    pub mttr_h: Option<DistSummary>,
+    /// Measured rebuild disk-time distribution, ms.
+    pub rebuild_io_ms: Option<DistSummary>,
+    /// Spare-pool stats.
+    pub spares: SpareStats,
+    /// Fraction of volume-ticks with ≥ 1 disk down.
+    pub degraded_fraction: f64,
+    /// Fraction of volume-ticks with 2 disks down.
+    pub critical_fraction: f64,
+    /// Foreground writes refused by the critical write fence.
+    pub fenced_writes: u64,
+    /// Scrub stats.
+    pub scrub: ScrubStats,
+    /// Throttle stats.
+    pub throttle: ThrottleStats,
+    /// Foreground stats.
+    pub foreground: ForegroundStats,
+    /// Analytic-vs-measured model comparison.
+    pub models: ModelStats,
+}
+
+fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+fn opt_f3(x: Option<f64>) -> String {
+    x.map_or_else(|| "null".to_string(), f3)
+}
+
+fn dist_json(d: Option<&DistSummary>) -> String {
+    match d {
+        None => "null".to_string(),
+        Some(d) => format!(
+            "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"max\": {}}}",
+            d.count,
+            f3(d.mean),
+            f3(d.p50),
+            f3(d.p95),
+            f3(d.max)
+        ),
+    }
+}
+
+impl FleetReport {
+    /// Schema version stamped into the JSON (bump on breaking changes;
+    /// `make fleet-smoke` pins it).
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Deterministic JSON: fixed key order, fixed-precision floats —
+    /// byte-identical for a fixed seed.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {},\n", Self::SCHEMA_VERSION));
+        s.push_str(&format!("  \"code\": \"{}\",\n", self.code));
+        s.push_str(&format!("  \"disks\": {},\n", self.disks));
+        s.push_str(&format!("  \"volumes\": {},\n", self.volumes));
+        s.push_str(&format!("  \"hours\": {},\n", f3(self.hours)));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"stripes\": {},\n", self.stripes));
+        s.push_str(&format!("  \"element_size\": {},\n", self.element_size));
+        s.push_str(&format!("  \"disk_failures\": {},\n", self.disk_failures));
+        s.push_str(&format!("  \"rebuilds_completed\": {},\n", self.rebuilds_completed));
+        s.push_str(&format!("  \"data_loss_events\": {},\n", self.data_loss_events));
+        let lost: Vec<String> =
+            self.lost_volumes.iter().map(|(v, t)| format!("[{}, {}]", v, f3(*t))).collect();
+        s.push_str(&format!("  \"lost_volumes\": [{}],\n", lost.join(", ")));
+        s.push_str(&format!("  \"mttr_h\": {},\n", dist_json(self.mttr_h.as_ref())));
+        s.push_str(&format!("  \"rebuild_io_ms\": {},\n", dist_json(self.rebuild_io_ms.as_ref())));
+        let timeline: Vec<String> =
+            self.spares.timeline.iter().map(|(t, a)| format!("[{}, {}]", f3(*t), a)).collect();
+        s.push_str(&format!(
+            "  \"spare_pool\": {{\"capacity\": {}, \"grants\": {}, \"exhausted_requests\": {}, \
+             \"min_available\": {}, \"mean_wait_h\": {}, \"timeline\": [{}]}},\n",
+            self.spares.capacity,
+            self.spares.grants,
+            self.spares.exhausted_requests,
+            self.spares.min_available,
+            f3(self.spares.mean_wait_h),
+            timeline.join(", ")
+        ));
+        s.push_str(&format!("  \"degraded_fraction\": {},\n", f3(self.degraded_fraction)));
+        s.push_str(&format!("  \"critical_fraction\": {},\n", f3(self.critical_fraction)));
+        s.push_str(&format!("  \"fenced_writes\": {},\n", self.fenced_writes));
+        s.push_str(&format!(
+            "  \"scrub\": {{\"passes\": {}, \"stripes_scrubbed\": {}, \"deferred\": {}, \
+             \"corruptions_injected\": {}, \"repaired\": {}, \"unlocalizable\": {}}},\n",
+            self.scrub.passes,
+            self.scrub.stripes_scrubbed,
+            self.scrub.deferred,
+            self.scrub.corruptions_injected,
+            self.scrub.repaired,
+            self.scrub.unlocalizable
+        ));
+        s.push_str(&format!(
+            "  \"throttle\": {{\"qos\": {}, \"mean_rate\": {}, \"backoffs\": {}, \
+             \"min_rate_ticks\": {}, \"rebuild_ticks\": {}}},\n",
+            self.throttle.qos,
+            f3(self.throttle.mean_rate),
+            self.throttle.backoffs,
+            self.throttle.min_rate_ticks,
+            self.throttle.rebuild_ticks
+        ));
+        s.push_str(&format!(
+            "  \"foreground\": {{\"ops\": {}, \"p99_healthy_ms\": {}, \"p99_rebuild_ms\": {}, \
+             \"inflation\": {}}},\n",
+            self.foreground.ops,
+            f3(self.foreground.p99_healthy_ms),
+            f3(self.foreground.p99_rebuild_ms),
+            f3(self.foreground.inflation)
+        ));
+        s.push_str(&format!(
+            "  \"models\": {{\"analytic_rebuild_single_ms\": {}, \
+             \"analytic_rebuild_double_ms\": {}, \"analytic_mttdl_h\": {}, \
+             \"measured_rebuild_io_ms\": {}, \"measured_mttr_h\": {}, \
+             \"measured_mttdl_h\": {}, \"rebuild_io_delta_pct\": {}, \
+             \"mttdl_measured_over_analytic\": {}}}\n",
+            f3(self.models.analytic_rebuild_single_ms),
+            f3(self.models.analytic_rebuild_double_ms),
+            f3(self.models.analytic_mttdl_h),
+            opt_f3(self.models.measured_rebuild_io_ms),
+            opt_f3(self.models.measured_mttr_h),
+            opt_f3(self.models.measured_mttdl_h),
+            opt_f3(self.models.rebuild_io_delta_pct),
+            opt_f3(self.models.mttdl_measured_over_analytic)
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} volumes × {} ({} disks), {:.0} h, seed {}",
+            self.volumes, self.code, self.disks, self.hours, self.seed
+        )?;
+        writeln!(
+            f,
+            "  failures: {} ({} rebuilt, {} data-loss)",
+            self.disk_failures, self.rebuilds_completed, self.data_loss_events
+        )?;
+        match &self.mttr_h {
+            Some(d) => writeln!(
+                f,
+                "  MTTR: mean {:.1} h, p50 {:.1} h, p95 {:.1} h, max {:.1} h over {} rebuilds",
+                d.mean, d.p50, d.p95, d.max, d.count
+            )?,
+            None => writeln!(f, "  MTTR: no completed rebuilds")?,
+        }
+        writeln!(
+            f,
+            "  spares: {} capacity, {} grants, {} exhausted requests, mean wait {:.1} h",
+            self.spares.capacity,
+            self.spares.grants,
+            self.spares.exhausted_requests,
+            self.spares.mean_wait_h
+        )?;
+        writeln!(
+            f,
+            "  exposure: degraded {:.2}% of volume-hours, critical {:.2}%, {} fenced writes",
+            self.degraded_fraction * 100.0,
+            self.critical_fraction * 100.0,
+            self.fenced_writes
+        )?;
+        writeln!(
+            f,
+            "  scrub: {} passes, {} injected, {} repaired, {} unlocalizable, {} deferred",
+            self.scrub.passes,
+            self.scrub.corruptions_injected,
+            self.scrub.repaired,
+            self.scrub.unlocalizable,
+            self.scrub.deferred
+        )?;
+        writeln!(
+            f,
+            "  throttle{}: mean rate {:.2} stripes/tick, {} backoffs over {} rebuild ticks",
+            if self.throttle.qos { "" } else { " (off)" },
+            self.throttle.mean_rate,
+            self.throttle.backoffs,
+            self.throttle.rebuild_ticks
+        )?;
+        writeln!(
+            f,
+            "  foreground: {} ops, p99 {:.0} ms healthy / {:.0} ms under rebuild ({:.2}×)",
+            self.foreground.ops,
+            self.foreground.p99_healthy_ms,
+            self.foreground.p99_rebuild_ms,
+            self.foreground.inflation
+        )?;
+        writeln!(
+            f,
+            "  models: analytic rebuild {:.0} ms, MTTDL {:.3e} h",
+            self.models.analytic_rebuild_single_ms, self.models.analytic_mttdl_h
+        )?;
+        match (
+            self.models.measured_rebuild_io_ms,
+            self.models.measured_mttr_h,
+            self.models.measured_mttdl_h,
+        ) {
+            (Some(io), Some(mttr), Some(mttdl)) => {
+                writeln!(
+                    f,
+                    "          measured rebuild I/O {:.0} ms ({:+.1}% vs analytic), wall MTTR \
+                     {:.1} h, MTTDL {:.3e} h ({:.3e}× analytic)",
+                    io,
+                    self.models.rebuild_io_delta_pct.unwrap_or(0.0),
+                    mttr,
+                    mttdl,
+                    self.models.mttdl_measured_over_analytic.unwrap_or(0.0)
+                )
+            }
+            _ => writeln!(f, "          measured: no completed rebuilds to feed back"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_summary_percentiles() {
+        let mut s = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let d = DistSummary::from(&mut s).unwrap();
+        assert_eq!(d.count, 5);
+        assert!((d.mean - 3.0).abs() < 1e-12);
+        assert_eq!(d.p50, 3.0);
+        assert_eq!(d.p95, 5.0);
+        assert_eq!(d.max, 5.0);
+        assert!(DistSummary::from(&mut Vec::new()).is_none());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 4.0);
+        assert_eq!(percentile(&s, 0.5), 3.0); // round(1.5) = 2
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

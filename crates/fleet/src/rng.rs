@@ -1,0 +1,90 @@
+//! Seeded randomness for the fleet clock: a splitmix64 stream plus the
+//! inverse-CDF Weibull sampler driving failure and latent-sector
+//! arrivals.
+//!
+//! The harness promises byte-identical reports for a fixed seed on any
+//! host, so — like the chaos module it grew out of — it carries its own
+//! tiny generator instead of depending on a platform RNG.
+
+/// Splitmix64: tiny, seedable, identical on every platform.
+#[derive(Debug, Clone)]
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub(crate) fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)` (`n = 0` yields 0).
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub(crate) fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Weibull-distributed interval via the inverse CDF:
+    /// `scale · (−ln(1−u))^(1/shape)`. Shape < 1 models infant
+    /// mortality, 1 is exponential (memoryless), > 1 wear-out — disk
+    /// populations are conventionally fit with shapes just above 1.
+    pub(crate) fn weibull(&mut self, shape: f64, scale: f64) -> f64 {
+        debug_assert!(shape > 0.0 && scale > 0.0);
+        let u = self.unit();
+        scale * (-(1.0 - u).ln()).powf(1.0 / shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::new(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weibull_samples_match_the_distribution() {
+        let mut r = Rng::new(1);
+        let (shape, scale) = (1.2, 1500.0);
+        let n = 20_000usize;
+        let samples: Vec<f64> = (0..n).map(|_| r.weibull(shape, scale)).collect();
+        assert!(samples.iter().all(|&s| s.is_finite() && s >= 0.0));
+        // Empirical median vs the closed form `scale · ln(2)^(1/shape)`.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[n / 2];
+        let expected = scale * std::f64::consts::LN_2.powf(1.0 / shape);
+        assert!(
+            (median - expected).abs() / expected < 0.05,
+            "median {median:.1} vs expected {expected:.1}"
+        );
+        // Shape 1 degenerates to the exponential: mean ≈ scale.
+        let mut r = Rng::new(2);
+        let mean: f64 = (0..n).map(|_| r.weibull(1.0, 100.0)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "exponential mean {mean:.1}");
+    }
+}

@@ -1,0 +1,537 @@
+//! The fleet simulator: many [`RaidVolume`]s under one seeded
+//! discrete-event clock.
+//!
+//! Time advances in scheduling ticks ([`FleetConfig::tick_h`]). Each
+//! tick, per volume and in deterministic order:
+//!
+//! 1. **Failure arrivals** — per-disk Weibull lifetimes come due; a
+//!    third concurrent failure is a data-loss event (the volume is
+//!    retired from the run), otherwise the disk is failed and a spare
+//!    requested from the shared pool.
+//! 2. **Rebuild** — the throttle grants a stripe budget and
+//!    [`RaidVolume::maintain`] spends it; the rebuild burst's ledger is
+//!    charged to the volume's disk queues *ahead of* the tick's
+//!    foreground writes, and accumulated per rebuild episode for the
+//!    measured-MTTR feedback.
+//! 3. **Foreground writes** — a Zipf trace from `raid-workloads` replays
+//!    against the volume; each write's ledger flows through the same
+//!    queues, so its latency includes any wait behind the rebuild burst.
+//!    Writes refused by the critical write fence are counted, not
+//!    retried.
+//! 4. **Throttle feedback** — the tick's foreground p99 versus the
+//!    volume's healthy baseline drives the AIMD controller
+//!    ([`raid_array::RebuildThrottle`]).
+//! 5. **Scrub & latent arrivals** — silent corruptions arrive on a
+//!    Weibull clock and are found (and repaired) by the periodic scrub.
+//!
+//! Spares live in one shared pool with a replenishment delay: a consumed
+//! spare is restocked [`FleetConfig::spare_replenish_h`] later, requests
+//! beyond the stock queue FIFO, and a volume parked at the correction
+//! limit with nothing in the pool fences writes
+//! ([`RaidVolume::set_write_fence`]) instead of accepting data with zero
+//! redundancy.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use disk_sim::DiskQueues;
+use raid_array::mttr::{estimate_rebuild, measured_rebuild_ms};
+use raid_array::reliability::{estimate_mttdl, mttdl_from_inputs, MttdlInputs};
+use raid_array::{RaidVolume, RebuildThrottle, VolumeError};
+use raid_core::{ArrayCode, Cell};
+use raid_workloads::skew::zipf_write_trace;
+
+use crate::config::FleetConfig;
+use crate::report::{
+    percentile, DistSummary, FleetReport, ForegroundStats, ModelStats, ScrubStats, SpareStats,
+    ThrottleStats,
+};
+use crate::rng::Rng;
+
+/// Patterns in each volume's foreground trace before it cycles.
+const TRACE_PATTERNS: usize = 256;
+
+/// The shared hot-spare pool.
+struct SparePool {
+    capacity: usize,
+    available: usize,
+    /// Hours at which consumed spares come back.
+    restocks: Vec<f64>,
+    /// FIFO of `(request hour, volume)` waiting for stock.
+    waiters: VecDeque<(f64, usize)>,
+    timeline: Vec<(f64, usize)>,
+    waits_h: Vec<f64>,
+    grants: u64,
+    exhausted_requests: u64,
+    min_available: usize,
+}
+
+impl SparePool {
+    fn new(capacity: usize) -> Self {
+        SparePool {
+            capacity,
+            available: capacity,
+            restocks: Vec::new(),
+            waiters: VecDeque::new(),
+            timeline: vec![(0.0, capacity)],
+            waits_h: Vec::new(),
+            grants: 0,
+            exhausted_requests: 0,
+            min_available: capacity,
+        }
+    }
+
+    fn note(&mut self, t_h: f64) {
+        self.timeline.push((t_h, self.available));
+        self.min_available = self.min_available.min(self.available);
+    }
+
+    /// Returns restocked spares that came due by `t_h` to the shelf.
+    fn restock_due(&mut self, t_h: f64) {
+        let before = self.restocks.len();
+        self.restocks.retain(|&due| due > t_h);
+        let restocked = before - self.restocks.len();
+        if restocked > 0 {
+            self.available += restocked;
+            self.note(t_h);
+        }
+    }
+
+    fn request(&mut self, t_h: f64, volume: usize) {
+        if self.available == 0 {
+            self.exhausted_requests += 1;
+        }
+        self.waiters.push_back((t_h, volume));
+    }
+
+    /// Takes one spare off the shelf and schedules its replacement.
+    fn consume(&mut self, t_h: f64, requested_h: f64, replenish_h: f64) {
+        debug_assert!(self.available > 0);
+        self.available -= 1;
+        self.restocks.push(t_h + replenish_h);
+        self.grants += 1;
+        self.waits_h.push(t_h - requested_h);
+        self.note(t_h);
+    }
+}
+
+/// One volume's slice of fleet state.
+struct Slot {
+    volume: RaidVolume,
+    queues: DiskQueues,
+    rng: Rng,
+    /// Per-disk hour the next failure comes due (∞ while failed).
+    next_fail_h: Vec<f64>,
+    next_corrupt_h: f64,
+    next_scrub_h: f64,
+    /// The cycling foreground trace, pre-expanded.
+    trace: Vec<(usize, usize)>,
+    trace_pos: usize,
+    throttle: RebuildThrottle,
+    /// EWMA of healthy-tick foreground p99, the throttle's baseline.
+    healthy_p99_ms: Option<f64>,
+    /// Hour each currently-failed disk died.
+    fail_time_h: BTreeMap<usize, f64>,
+    /// Spare requests issued and not yet granted.
+    requests_out: usize,
+    /// Per-disk element I/O of the active rebuild episode.
+    episode_io: Vec<u64>,
+    lost_at_h: Option<f64>,
+}
+
+impl Slot {
+    /// Failed disks not covered by the active rebuild task or by granted
+    /// (unconsumed) spares — the number of spares still worth requesting.
+    fn uncovered(&self) -> usize {
+        let failed = self.volume.failed_disks();
+        let covered = self
+            .volume
+            .rebuild_progress()
+            .map_or(0, |t| t.disks.iter().filter(|d| failed.contains(d)).count());
+        // Granted-but-unconsumed spares also cover pending need.
+        failed.len().saturating_sub(covered).saturating_sub(self.volume.spares())
+    }
+}
+
+/// Runs one seeded fleet campaign and reports.
+///
+/// Deterministic for a fixed `(code, cfg)` — every random stream derives
+/// from [`FleetConfig::seed`] and volumes step in index order, so
+/// [`FleetReport::to_json`] is byte-identical across runs and hosts.
+///
+/// # Panics
+///
+/// Panics if the config is out of domain (see [`FleetConfig`] fields).
+pub fn run(code: &Arc<dyn ArrayCode>, cfg: &FleetConfig) -> FleetReport {
+    cfg.validate();
+    let layout = code.layout();
+    let (rows, disks) = (layout.rows(), layout.cols());
+    let service_ms = cfg.profile.element_service_ms();
+    let max_budget = cfg.throttle.max_rate.ceil().max(1.0) as usize;
+
+    // --- Build the fleet. ---
+    let mut seeder = Rng::new(cfg.seed);
+    let mut slots: Vec<Slot> = (0..cfg.volumes)
+        .map(|i| {
+            let slot_seed = seeder.next_u64();
+            let mut volume =
+                RaidVolume::in_memory(Arc::clone(code), cfg.stripes, cfg.element_size);
+            volume.set_write_fence(true);
+            let data_elements = volume.data_elements();
+            let fill: Vec<u8> = (0..data_elements * cfg.element_size)
+                .map(|k| (k as u8).wrapping_mul(31).wrapping_add(i as u8))
+                .collect();
+            volume.write(0, &fill).expect("healthy fill");
+            let trace = zipf_write_trace(
+                cfg.fg_write_len.min(data_elements),
+                TRACE_PATTERNS,
+                data_elements,
+                cfg.fg_theta,
+                slot_seed ^ 0x5EED_F00D,
+            )
+            .clamped(data_elements)
+            .expanded()
+            .collect();
+            let mut rng = Rng::new(slot_seed);
+            let next_fail_h =
+                (0..disks).map(|_| rng.weibull(cfg.fail_shape, cfg.fail_scale_h)).collect();
+            let next_corrupt_h = rng.weibull(1.0, cfg.latent_mean_h);
+            // Stagger scrubs across the interval so the fleet never
+            // scrubs in lockstep.
+            let next_scrub_h =
+                cfg.scrub_interval_h * (i as f64 + 1.0) / cfg.volumes.max(1) as f64;
+            Slot {
+                volume,
+                queues: DiskQueues::new(disks, cfg.profile),
+                rng,
+                next_fail_h,
+                next_corrupt_h,
+                next_scrub_h,
+                trace,
+                trace_pos: 0,
+                throttle: RebuildThrottle::new(cfg.throttle),
+                healthy_p99_ms: None,
+                fail_time_h: BTreeMap::new(),
+                requests_out: 0,
+                episode_io: vec![0; disks],
+                lost_at_h: None,
+            }
+        })
+        .collect();
+    let mut pool = SparePool::new(cfg.spare_capacity);
+
+    // --- Run the clock. ---
+    let ticks = (cfg.hours / cfg.tick_h).ceil() as u64;
+    let mut disk_failures = 0u64;
+    let mut rebuilds_completed = 0u64;
+    let mut lost_volumes: Vec<(usize, f64)> = Vec::new();
+    let mut mttr_samples: Vec<f64> = Vec::new();
+    let mut episode_io_samples: Vec<f64> = Vec::new();
+    let mut fg_healthy_ms: Vec<f64> = Vec::new();
+    let mut fg_rebuild_ms: Vec<f64> = Vec::new();
+    let mut fg_ops = 0u64;
+    let mut fenced_writes = 0u64;
+    let mut degraded_ticks = 0u64;
+    let mut critical_ticks = 0u64;
+    let mut live_ticks = 0u64;
+    let mut scrub = ScrubStats {
+        passes: 0,
+        stripes_scrubbed: 0,
+        deferred: 0,
+        corruptions_injected: 0,
+        repaired: 0,
+        unlocalizable: 0,
+    };
+    let mut rate_sum = 0.0f64;
+    let mut rebuild_ticks = 0u64;
+    let mut min_rate_ticks = 0u64;
+    let mut backoffs = 0u64;
+    let mut tick_lat: Vec<f64> = Vec::new();
+
+    for tick in 0..ticks {
+        let t_h = tick as f64 * cfg.tick_h;
+        let t_ms = t_h * 3_600_000.0;
+
+        // Fleet phase: restock the pool, then serve waiting volumes FIFO.
+        pool.restock_due(t_h);
+        while pool.available > 0 {
+            let Some((req_h, vi)) = pool.waiters.pop_front() else { break };
+            let slot = &mut slots[vi];
+            slot.requests_out = slot.requests_out.saturating_sub(1);
+            if slot.lost_at_h.is_some() || slot.uncovered() == 0 {
+                // Stale request (volume lost, or need already covered).
+                continue;
+            }
+            pool.consume(t_h, req_h, cfg.spare_replenish_h);
+            slot.volume.set_spares(slot.volume.spares() + 1);
+        }
+
+        // Volume phase, in index order.
+        for (vi, slot) in slots.iter_mut().enumerate() {
+            if slot.lost_at_h.is_some() {
+                continue;
+            }
+
+            // 1. Failure arrivals.
+            for d in 0..disks {
+                if slot.next_fail_h[d] > t_h {
+                    continue;
+                }
+                let due_h = slot.next_fail_h[d];
+                slot.next_fail_h[d] = f64::INFINITY;
+                if slot.volume.failed_disks().len() >= 2 {
+                    // Third concurrent failure: data loss.
+                    slot.lost_at_h = Some(t_h);
+                    lost_volumes.push((vi, t_h));
+                    break;
+                }
+                disk_failures += 1;
+                slot.volume.fail_disk(d).expect("third failure handled above");
+                slot.fail_time_h.insert(d, due_h);
+            }
+            if slot.lost_at_h.is_some() {
+                continue;
+            }
+            // Request spares for any uncovered failures.
+            while slot.uncovered() > slot.requests_out {
+                slot.requests_out += 1;
+                pool.request(t_h, vi);
+            }
+
+            // 2. Rebuild under the throttle.
+            let failed_before: BTreeSet<usize> =
+                slot.volume.failed_disks().into_iter().collect();
+            let had_task = slot.volume.rebuild_progress().is_some();
+            let can_start = !failed_before.is_empty() && slot.volume.spares() > 0;
+            let rebuilding_tick = had_task || can_start;
+            if rebuilding_tick {
+                let budget =
+                    if cfg.qos { slot.throttle.take_budget() } else { max_budget };
+                if budget > 0 {
+                    let receipt =
+                        slot.volume.maintain(budget).expect("in-memory rebuild step");
+                    let per_disk = receipt.per_disk_totals();
+                    // Rebuild burst queues ahead of this tick's
+                    // foreground writes — the conservative order.
+                    slot.queues.issue(t_ms, &per_disk);
+                    for (acc, n) in slot.episode_io.iter_mut().zip(&per_disk) {
+                        *acc += n;
+                    }
+                    let failed_after: BTreeSet<usize> =
+                        slot.volume.failed_disks().into_iter().collect();
+                    let mut finished = false;
+                    for d in failed_before.difference(&failed_after) {
+                        finished = true;
+                        rebuilds_completed += 1;
+                        let failed_at =
+                            slot.fail_time_h.remove(d).unwrap_or(t_h);
+                        mttr_samples.push((t_h + cfg.tick_h - failed_at).max(0.0));
+                        // The rebuilt disk is factory-fresh: restart its
+                        // lifetime clock.
+                        slot.next_fail_h[*d] =
+                            t_h + slot.rng.weibull(cfg.fail_shape, cfg.fail_scale_h);
+                    }
+                    if finished {
+                        episode_io_samples
+                            .push(measured_rebuild_ms(&slot.episode_io, cfg.profile));
+                        slot.episode_io.iter_mut().for_each(|n| *n = 0);
+                        backoffs += slot.throttle.backoffs();
+                        slot.throttle = RebuildThrottle::new(cfg.throttle);
+                    }
+                }
+            }
+
+            // 3. Foreground writes through the same disk queues.
+            tick_lat.clear();
+            let fill_byte = (tick as u8).wrapping_mul(37).wrapping_add(vi as u8);
+            for _ in 0..cfg.fg_writes_per_tick {
+                if slot.trace.is_empty() {
+                    break;
+                }
+                let (start, len) = slot.trace[slot.trace_pos];
+                slot.trace_pos = (slot.trace_pos + 1) % slot.trace.len();
+                let buf = vec![fill_byte; len * cfg.element_size];
+                match slot.volume.write(start, &buf) {
+                    Ok(receipt) => {
+                        fg_ops += 1;
+                        let lat = slot.queues.issue(t_ms, &receipt.per_disk_totals());
+                        tick_lat.push(lat);
+                    }
+                    Err(VolumeError::SpareExhausted { .. }) => fenced_writes += 1,
+                    Err(e) => panic!("foreground write failed: {e}"),
+                }
+            }
+            tick_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+            let tick_p99 =
+                if tick_lat.is_empty() { None } else { Some(percentile(&tick_lat, 0.99)) };
+
+            // 4. Phase bookkeeping and throttle feedback.
+            let failed_now = slot.volume.failed_disks().len();
+            if rebuilding_tick {
+                fg_rebuild_ms.extend_from_slice(&tick_lat);
+                rebuild_ticks += 1;
+                if cfg.qos {
+                    let baseline = slot
+                        .healthy_p99_ms
+                        .or(tick_p99)
+                        .unwrap_or(service_ms);
+                    slot.throttle.observe(tick_p99, baseline);
+                    rate_sum += slot.throttle.rate();
+                    if slot.throttle.rate() <= cfg.throttle.min_rate + 1e-12 {
+                        min_rate_ticks += 1;
+                    }
+                } else {
+                    rate_sum += max_budget as f64;
+                }
+            } else if failed_now == 0 {
+                fg_healthy_ms.extend_from_slice(&tick_lat);
+                if let Some(p99) = tick_p99 {
+                    slot.healthy_p99_ms =
+                        Some(slot.healthy_p99_ms.map_or(p99, |e| 0.8 * e + 0.2 * p99));
+                }
+            }
+
+            // 5. Latent-corruption arrivals and the scrub scheduler.
+            while slot.next_corrupt_h <= t_h {
+                slot.next_corrupt_h += slot.rng.weibull(1.0, cfg.latent_mean_h);
+                if failed_now == 0 {
+                    let stripe = slot.rng.below(cfg.stripes);
+                    let cell = Cell::new(slot.rng.below(rows), slot.rng.below(disks));
+                    let byte = slot.rng.below(cfg.element_size);
+                    slot.volume.inject_corruption(stripe, cell, byte);
+                    scrub.corruptions_injected += 1;
+                }
+            }
+            if slot.next_scrub_h <= t_h {
+                slot.next_scrub_h += cfg.scrub_interval_h;
+                if failed_now == 0 {
+                    let findings = slot.volume.scrub().expect("healthy scrub");
+                    scrub.passes += 1;
+                    scrub.stripes_scrubbed += cfg.stripes as u64;
+                    for (_, report) in findings {
+                        match report {
+                            raid_core::scrub::ScrubReport::Repaired { .. } => {
+                                scrub.repaired += 1
+                            }
+                            raid_core::scrub::ScrubReport::Unlocalizable { .. } => {
+                                scrub.unlocalizable += 1
+                            }
+                            raid_core::scrub::ScrubReport::Clean => {}
+                        }
+                    }
+                } else {
+                    scrub.deferred += 1;
+                }
+            }
+
+            // 6. Exposure accounting.
+            live_ticks += 1;
+            if failed_now >= 1 {
+                degraded_ticks += 1;
+            }
+            if failed_now >= 2 {
+                critical_ticks += 1;
+            }
+        }
+    }
+
+    // --- Feed the measurements back into the analytic models. ---
+    let analytic_rebuild = estimate_rebuild(code.as_ref(), cfg.stripes, cfg.profile);
+    let analytic_mttdl = estimate_mttdl(code.as_ref(), cfg.stripes, cfg.profile, cfg.mttf_hours);
+    let mttr_dist = DistSummary::from(&mut mttr_samples);
+    let io_dist = DistSummary::from(&mut episode_io_samples);
+    let double_over_single = analytic_rebuild.double_ms / analytic_rebuild.single_ms;
+    let measured_mttdl_h = mttr_dist.map(|d| {
+        mttdl_from_inputs(&MttdlInputs {
+            disks,
+            mttf_hours: cfg.mttf_hours,
+            rebuild_one_h: d.mean,
+            // Double rebuilds are too rare to measure directly at fleet
+            // scale; scale the measured single window by the analytic
+            // double/single ratio.
+            rebuild_two_h: d.mean * double_over_single,
+            // The measured wall MTTR already contains the spare wait —
+            // adding a pool model here would double-count it.
+            spares: 0,
+            spare_replenish_h: 0.0,
+        })
+        .mttdl_h
+    });
+
+    fg_healthy_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    fg_rebuild_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let p99_healthy = percentile(&fg_healthy_ms, 0.99);
+    let p99_rebuild = percentile(&fg_rebuild_ms, 0.99);
+
+    let mean_wait_h = if pool.waits_h.is_empty() {
+        0.0
+    } else {
+        pool.waits_h.iter().sum::<f64>() / pool.waits_h.len() as f64
+    };
+
+    FleetReport {
+        code: code.name().to_string(),
+        disks,
+        volumes: cfg.volumes,
+        hours: cfg.hours,
+        seed: cfg.seed,
+        stripes: cfg.stripes,
+        element_size: cfg.element_size,
+        disk_failures,
+        rebuilds_completed,
+        data_loss_events: lost_volumes.len() as u64,
+        lost_volumes,
+        mttr_h: mttr_dist,
+        rebuild_io_ms: io_dist,
+        spares: SpareStats {
+            capacity: pool.capacity,
+            grants: pool.grants,
+            exhausted_requests: pool.exhausted_requests,
+            min_available: pool.min_available,
+            mean_wait_h,
+            timeline: pool.timeline,
+        },
+        degraded_fraction: if live_ticks == 0 {
+            0.0
+        } else {
+            degraded_ticks as f64 / live_ticks as f64
+        },
+        critical_fraction: if live_ticks == 0 {
+            0.0
+        } else {
+            critical_ticks as f64 / live_ticks as f64
+        },
+        fenced_writes,
+        scrub,
+        throttle: ThrottleStats {
+            qos: cfg.qos,
+            mean_rate: if rebuild_ticks == 0 { 0.0 } else { rate_sum / rebuild_ticks as f64 },
+            backoffs,
+            min_rate_ticks,
+            rebuild_ticks,
+        },
+        foreground: ForegroundStats {
+            ops: fg_ops,
+            p99_healthy_ms: p99_healthy,
+            p99_rebuild_ms: p99_rebuild,
+            inflation: if p99_healthy > 0.0 && p99_rebuild > 0.0 {
+                p99_rebuild / p99_healthy
+            } else {
+                0.0
+            },
+        },
+        models: ModelStats {
+            analytic_rebuild_single_ms: analytic_rebuild.single_ms,
+            analytic_rebuild_double_ms: analytic_rebuild.double_ms,
+            analytic_mttdl_h: analytic_mttdl.mttdl_h,
+            measured_rebuild_io_ms: io_dist.map(|d| d.mean),
+            measured_mttr_h: mttr_dist.map(|d| d.mean),
+            measured_mttdl_h,
+            rebuild_io_delta_pct: io_dist.map(|d| {
+                (d.mean - analytic_rebuild.single_ms) / analytic_rebuild.single_ms * 100.0
+            }),
+            mttdl_measured_over_analytic: measured_mttdl_h
+                .map(|m| m / analytic_mttdl.mttdl_h),
+        },
+    }
+}

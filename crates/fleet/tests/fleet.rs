@@ -1,0 +1,148 @@
+//! End-to-end checks of the fleet harness: determinism, accelerated-life
+//! behavior, spare-pool exhaustion, and the measured-model feedback.
+
+use std::sync::Arc;
+
+use raid_core::ArrayCode;
+use raid_fleet::{run, FleetConfig, FleetReport};
+
+fn hv5() -> Arc<dyn ArrayCode> {
+    Arc::new(hv_code::HvCode::new(5).expect("p=5 is prime"))
+}
+
+/// A small-but-busy campaign: short horizon, hot failure rate, small
+/// pool — every subsystem (failures, spares, scrub, throttle) exercises.
+fn busy_config() -> FleetConfig {
+    FleetConfig {
+        volumes: 8,
+        hours: 96.0,
+        seed: 7,
+        stripes: 12,
+        element_size: 16,
+        fail_scale_h: 150.0,
+        latent_mean_h: 40.0,
+        spare_capacity: 3,
+        spare_replenish_h: 12.0,
+        scrub_interval_h: 24.0,
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn seeded_runs_are_byte_identical() {
+    let code = hv5();
+    let cfg = busy_config();
+    let a = run(&code, &cfg);
+    let b = run(&code, &cfg);
+    assert_eq!(a.to_json(), b.to_json());
+    // And a different seed actually changes the outcome.
+    let c = run(&code, &FleetConfig { seed: 8, ..busy_config() });
+    assert_ne!(a.to_json(), c.to_json());
+}
+
+#[test]
+fn accelerated_life_campaign_exercises_every_subsystem() {
+    let code = hv5();
+    let report = run(&code, &busy_config());
+
+    // Failures arrived and rebuilds completed.
+    assert!(report.disk_failures > 0, "no failures at scale 150 h over 96 h: {report}");
+    assert!(report.rebuilds_completed > 0, "no rebuilds completed: {report}");
+    let mttr = report.mttr_h.expect("completed rebuilds imply an MTTR distribution");
+    assert!(mttr.count == report.rebuilds_completed);
+    assert!(mttr.mean > 0.0 && mttr.max >= mttr.p95 && mttr.p95 >= mttr.p50);
+
+    // The spare pool was used and its timeline is monotone in time.
+    assert!(report.spares.grants > 0);
+    assert_eq!(report.spares.timeline.first(), Some(&(0.0, report.spares.capacity)));
+    for w in report.spares.timeline.windows(2) {
+        assert!(w[1].0 >= w[0].0, "timeline goes backwards: {:?}", w);
+    }
+
+    // Scrub passes ran and found at least one injected corruption.
+    assert!(report.scrub.passes > 0);
+    assert!(report.scrub.corruptions_injected > 0);
+    assert!(
+        report.scrub.repaired + report.scrub.unlocalizable > 0,
+        "scrub never caught an injected corruption: {report}"
+    );
+
+    // Degraded exposure is a fraction, and the measured models populated.
+    assert!(report.degraded_fraction > 0.0 && report.degraded_fraction <= 1.0);
+    assert!(report.models.measured_mttr_h.is_some());
+    assert!(report.models.measured_mttdl_h.unwrap() > 0.0);
+    assert!(report.models.rebuild_io_delta_pct.is_some());
+}
+
+#[test]
+fn measured_mttr_degrades_mttdl_relative_to_the_closed_form() {
+    // The measured wall MTTR includes spare waits and throttling, so it
+    // is much longer than the pure-I/O analytic window — the fed-back
+    // MTTDL must come out worse (smaller) than the analytic one.
+    let code = hv5();
+    let report = run(&code, &busy_config());
+    let ratio = report
+        .models
+        .mttdl_measured_over_analytic
+        .expect("rebuilds completed, so the ratio exists");
+    assert!(
+        ratio > 0.0 && ratio < 1.0,
+        "measured MTTDL should be below analytic (ratio {ratio}): {report}"
+    );
+}
+
+#[test]
+fn starved_spare_pool_parks_volumes_and_fences_writes() {
+    // No spares and none ever restocked: every failure stays uncovered,
+    // second failures park volumes in the fenced critical state.
+    let code = hv5();
+    let cfg = FleetConfig {
+        spare_capacity: 0,
+        spare_replenish_h: 1e9,
+        fail_scale_h: 60.0,
+        hours: 192.0,
+        ..busy_config()
+    };
+    let report = run(&code, &cfg);
+    assert_eq!(report.rebuilds_completed, 0);
+    assert!(report.spares.grants == 0);
+    assert!(report.spares.exhausted_requests > 0, "pool never reported exhaustion: {report}");
+    assert!(report.fenced_writes > 0, "critical volumes never fenced a write: {report}");
+    assert!(report.critical_fraction > 0.0);
+    assert!(report.models.measured_mttr_h.is_none(), "no rebuilds means no measured MTTR");
+}
+
+#[test]
+fn json_schema_is_stable_and_parsable_shape() {
+    let code = hv5();
+    let cfg = FleetConfig { volumes: 2, hours: 24.0, ..busy_config() };
+    let json = run(&code, &cfg).to_json();
+    assert!(json.starts_with("{\n"));
+    assert!(json.ends_with("}\n"));
+    for key in [
+        "\"schema_version\": 1",
+        "\"code\": \"HV Code\"",
+        "\"disks\"",
+        "\"volumes\": 2",
+        "\"mttr_h\"",
+        "\"spare_pool\"",
+        "\"degraded_fraction\"",
+        "\"fenced_writes\"",
+        "\"scrub\"",
+        "\"throttle\"",
+        "\"foreground\"",
+        "\"models\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    assert_eq!(FleetReport::SCHEMA_VERSION, 1);
+}
+
+#[test]
+fn baseline_codes_run_through_the_same_harness() {
+    // The report is code-agnostic: RDP at the same seed also runs clean.
+    let code = raid_verify::build("rdp", 5).expect("rdp p=5");
+    let report = run(&code, &FleetConfig { volumes: 4, hours: 48.0, ..busy_config() });
+    assert_eq!(report.code, "RDP");
+    assert!(report.disk_failures > 0);
+}

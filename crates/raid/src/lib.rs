@@ -51,7 +51,9 @@ pub use backend::{
 pub use batch::{encode_batch, rebuild_batch};
 pub use cache::{batched_write_steps, CacheConfig};
 pub use chaos::{ChaosConfig, ChaosReport};
-pub use health::{HealthMonitor, HealthState, RecoveryAction, RetryPolicy};
+pub use health::{
+    HealthMonitor, HealthState, RebuildThrottle, RecoveryAction, RetryPolicy, ThrottleConfig,
+};
 pub use partition::{run_partitioned, Partition, PartitionMap};
 pub use pipeline::{DiskAddr, IoPipeline, LoweredOp};
 pub use replay::{replay_read_patterns, replay_write_trace, ReadReplay, WriteReplay};

@@ -61,6 +61,58 @@ pub fn estimate_mttdl(
     MttdlEstimate { disks: n, rebuild_one_h: r1, rebuild_two_h: r2, mttdl_h: mttdl }
 }
 
+/// Inputs for [`mttdl_from_inputs`]: the same Markov chain, but with the
+/// repair windows supplied by the caller — *measured* rebuild durations
+/// from a fleet run, throttled closed forms from
+/// [`crate::mttr::estimate_rebuild_throttled`], or anything else —
+/// instead of the closed-form [`estimate_rebuild`] figures, plus an
+/// explicit hot-spare pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MttdlInputs {
+    /// Disks in the array (≥ 3).
+    pub disks: usize,
+    /// Per-disk mean time to failure, hours.
+    pub mttf_hours: f64,
+    /// Single-disk rebuild duration, hours (excluding spare wait).
+    pub rebuild_one_h: f64,
+    /// Double-disk rebuild duration, hours (excluding spare wait).
+    pub rebuild_two_h: f64,
+    /// Hot spares stocked per array.
+    pub spares: usize,
+    /// Time to restock one spare after it is consumed, hours. With zero
+    /// spares every repair waits the full restock delay.
+    pub spare_replenish_h: f64,
+}
+
+/// MTTDL from caller-supplied repair windows and a spare-pool model.
+///
+/// The repair window the Markov chain sees is rebuild time plus the
+/// expected wait for a spare, `replenish / (spares + 1)` — zero spares
+/// wait the whole restock delay, each stocked spare cuts the expected
+/// wait (the pool almost always has one ready). MTTDL is therefore
+/// monotone increasing in spare count and rebuild rate, and monotone
+/// decreasing in disk count — invariants the property suite pins.
+///
+/// # Panics
+///
+/// Panics if `mttf_hours` or either rebuild window is not positive, the
+/// replenish delay is negative, or the array has fewer than three disks.
+pub fn mttdl_from_inputs(inputs: &MttdlInputs) -> MttdlEstimate {
+    assert!(inputs.mttf_hours > 0.0, "MTTF must be positive");
+    assert!(inputs.disks >= 3, "MTTDL model needs at least three disks");
+    assert!(
+        inputs.rebuild_one_h > 0.0 && inputs.rebuild_two_h > 0.0,
+        "rebuild windows must be positive"
+    );
+    assert!(inputs.spare_replenish_h >= 0.0, "replenish delay cannot be negative");
+    let wait = inputs.spare_replenish_h / (inputs.spares as f64 + 1.0);
+    let r1 = inputs.rebuild_one_h + wait;
+    let r2 = inputs.rebuild_two_h + wait;
+    let nf = inputs.disks as f64;
+    let mttdl = inputs.mttf_hours.powi(3) / (nf * (nf - 1.0) * (nf - 2.0) * r1 * r2);
+    MttdlEstimate { disks: inputs.disks, rebuild_one_h: r1, rebuild_two_h: r2, mttdl_h: mttdl }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +140,42 @@ mod tests {
         // 10× the data → ~10× both rebuild times → ~100× lower MTTDL.
         let ratio = small.mttdl_h / large.mttdl_h;
         assert!((ratio - 100.0).abs() < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn measured_inputs_reduce_to_the_closed_form_without_spare_wait() {
+        let profile = DiskProfile::savvio_10k();
+        let code = HvCode::new(7).unwrap();
+        let analytic = estimate_mttdl(&code, 8, profile, 1_000_000.0);
+        // Feeding the closed-form windows back through the generic model
+        // with an instant spare pool must reproduce it exactly.
+        let measured = mttdl_from_inputs(&MttdlInputs {
+            disks: analytic.disks,
+            mttf_hours: 1_000_000.0,
+            rebuild_one_h: analytic.rebuild_one_h,
+            rebuild_two_h: analytic.rebuild_two_h,
+            spares: 0,
+            spare_replenish_h: 0.0,
+        });
+        assert_eq!(measured, analytic);
+    }
+
+    #[test]
+    fn spare_wait_widens_the_exposure_window() {
+        let base = MttdlInputs {
+            disks: 6,
+            mttf_hours: 1_000_000.0,
+            rebuild_one_h: 2.0,
+            rebuild_two_h: 5.0,
+            spares: 0,
+            spare_replenish_h: 24.0,
+        };
+        let none = mttdl_from_inputs(&base);
+        let one = mttdl_from_inputs(&MttdlInputs { spares: 1, ..base });
+        let many = mttdl_from_inputs(&MttdlInputs { spares: 8, ..base });
+        assert!(none.mttdl_h < one.mttdl_h && one.mttdl_h < many.mttdl_h);
+        // Zero spares wait the full restock delay.
+        assert!((none.rebuild_one_h - 26.0).abs() < 1e-9);
     }
 
     #[test]

@@ -83,6 +83,15 @@ pub enum VolumeError {
         /// Currently failed disk count.
         failed: usize,
     },
+    /// The spare pool cannot cover the failed disks: rebuild cannot
+    /// start, and — with the write fence armed — new writes are refused
+    /// while the array is parked at the RAID-6 correction limit.
+    SpareExhausted {
+        /// Failed disks with no rebuild underway.
+        failed: usize,
+        /// Spares left in the pool.
+        spares: usize,
+    },
     /// The backend (or the attached simulator) rejected a request.
     Backend(DiskError),
     /// The backend's (or simulator's) shape does not fit the volume.
@@ -108,6 +117,9 @@ impl fmt::Display for VolumeError {
             VolumeError::NoSuchDisk { disk } => write!(f, "no disk #{disk}"),
             VolumeError::TooManyFailures { failed } => {
                 write!(f, "{failed} failed disks exceed RAID-6 tolerance")
+            }
+            VolumeError::SpareExhausted { failed, spares } => {
+                write!(f, "spare pool exhausted: {failed} failed disks uncovered, {spares} spares")
             }
             VolumeError::Backend(e) => write!(f, "backend: {e}"),
             VolumeError::BackendMismatch { what, expected, got } => {
@@ -157,6 +169,9 @@ pub struct RaidVolume {
     auto_heal: bool,
     /// The in-flight (checkpointed) background rebuild, if any.
     rebuild_task: Option<RebuildTask>,
+    /// When armed, refuse new writes while the array is parked at the
+    /// correction limit with no rebuild underway and no spares left.
+    write_fence: bool,
     /// The write-back stripe cache, when enabled.
     cache: Option<StripeCache>,
     /// Explicit stripe-partition count for batched execution; `None`
@@ -309,6 +324,7 @@ impl RaidVolume {
             spares: 0,
             auto_heal: true,
             rebuild_task: None,
+            write_fence: false,
             cache: None,
             partitions: None,
         };
@@ -508,6 +524,64 @@ impl RaidVolume {
         self.auto_heal = on;
     }
 
+    /// Arms/disarms the critical write fence (off by default). While
+    /// armed, a volume parked at the RAID-6 correction limit — two dead
+    /// disks, no rebuild underway, no spares — refuses new writes with
+    /// [`VolumeError::SpareExhausted`] instead of accepting data with
+    /// zero remaining redundancy. Reads, flushes of already-accepted
+    /// data, and rebuild I/O are unaffected; the fence lifts as soon as
+    /// a spare arrives and a rebuild starts.
+    pub fn set_write_fence(&mut self, on: bool) {
+        self.write_fence = on;
+    }
+
+    /// True when the armed fence is currently refusing writes.
+    pub fn write_fenced(&self) -> bool {
+        self.write_fence
+            && self.failed.len() >= 2
+            && self.rebuild_task.is_none()
+            && self.spares == 0
+    }
+
+    /// Asks the healer to cover every failed disk, reporting — rather
+    /// than silently parking on — an empty spare pool.
+    ///
+    /// With spares stocked this behaves like a zero-budget
+    /// [`RaidVolume::maintain`]: it starts the spare-consuming rebuild
+    /// (if warranted) without rebuilding any stripes yet. With failed
+    /// disks left uncovered and the pool empty it returns the typed
+    /// [`VolumeError::SpareExhausted`] so a fleet controller can queue
+    /// the volume for a spare instead of inferring exhaustion from
+    /// "maintain did nothing".
+    ///
+    /// # Errors
+    ///
+    /// [`VolumeError::SpareExhausted`] when failed disks remain with no
+    /// rebuild covering them and no spares; backend errors from the
+    /// rebuild kickoff.
+    pub fn request_heal(&mut self) -> Result<(), VolumeError> {
+        if self.rebuild_task.is_none() && !self.failed.is_empty() {
+            if self.spares == 0 {
+                return Err(VolumeError::SpareExhausted {
+                    failed: self.failed.len(),
+                    spares: 0,
+                });
+            }
+            return self.start_spare_rebuild();
+        }
+        let covered: usize = self
+            .rebuild_task
+            .as_ref()
+            .map_or(0, |t| t.disks.iter().filter(|d| self.failed.contains(d)).count());
+        let uncovered = self.failed.len().saturating_sub(covered);
+        if uncovered > 0 && self.spares == 0 {
+            return Err(VolumeError::SpareExhausted { failed: uncovered, spares: 0 });
+        }
+        // Uncovered failures with spares in the pool wait for the active
+        // task to finish; the next maintain() starts their rebuild.
+        Ok(())
+    }
+
     /// Pins the stripe-partition count used by batched execution
     /// ([`RaidVolume::encode_all`], [`RaidVolume::rebuild_all`],
     /// partition-grouped [`RaidVolume::flush`]). `None` (the default)
@@ -623,6 +697,9 @@ impl RaidVolume {
             RecoveryAction::RepairLatent { disk, index } => self.repair_latent(disk, index),
             RecoveryAction::FailDisk { disk } => self.adopt_failure(disk, e),
             RecoveryAction::Fatal => Err(VolumeError::Backend(e)),
+            // Rebuild pacing is not an error response; the monitor never
+            // emits it here. Treat a stray one as "nothing to recover".
+            RecoveryAction::Throttle { .. } => Ok(()),
         }
     }
 
@@ -850,6 +927,9 @@ impl RaidVolume {
             });
         }
         self.check_range(start, len)?;
+        if self.write_fenced() {
+            return Err(VolumeError::SpareExhausted { failed: self.failed.len(), spares: 0 });
+        }
         self.pipeline.begin_op();
         if self.cache.is_some() {
             return self.write_cached(start, len, data);
@@ -2532,6 +2612,60 @@ mod tests {
         assert_eq!(bytes, data);
         // The healing story is on the record.
         assert!(!v.ledger().transitions().is_empty());
+    }
+
+    #[test]
+    fn spare_exhaustion_is_typed_and_fences_critical_writes() {
+        let mut v = volume(false);
+        v.set_write_fence(true);
+        let data = pattern(v.data_elements() * 16, 53);
+        v.write(0, &data).unwrap();
+
+        // One spare, three failures over time: the pool runs dry.
+        v.set_spares(1);
+        v.fail_disk(0).unwrap();
+        // Auto-heal consumed the spare for disk 0's rebuild.
+        assert_eq!(v.spares(), 0);
+        assert!(v.rebuild_progress().is_some());
+        v.fail_disk(1).unwrap();
+        assert_eq!(v.health_state(), HealthState::Critical);
+
+        // Disk 1 is uncovered and the pool is empty: typed error, not an
+        // implicit no-op.
+        assert_eq!(v.request_heal(), Err(VolumeError::SpareExhausted { failed: 1, spares: 0 }));
+        // But the fence stays open while disk 0's rebuild is in flight.
+        assert!(!v.write_fenced());
+        v.write(0, &data[..16]).unwrap();
+
+        // Finish disk 0's rebuild; disk 2 then dies with nothing left in
+        // the pool: the volume parks Critical with writes fenced.
+        while v.rebuild_progress().is_some() {
+            v.maintain(2).unwrap();
+        }
+        v.fail_disk(2).unwrap();
+        assert_eq!(v.health_state(), HealthState::Critical);
+        assert_eq!(v.request_heal(), Err(VolumeError::SpareExhausted { failed: 2, spares: 0 }));
+        assert!(v.write_fenced());
+        assert_eq!(
+            v.write(0, &data[..16]),
+            Err(VolumeError::SpareExhausted { failed: 2, spares: 0 })
+        );
+        // maintain() stays a quiet no-op (chaos campaigns rely on it) and
+        // degraded reads still serve.
+        assert!(v.maintain(4).unwrap().total_reads() == 0);
+        let (bytes, _) = v.read(0, v.data_elements()).unwrap();
+        assert_eq!(bytes, data);
+
+        // A spare arrives: heal starts, the fence lifts, writes flow.
+        v.set_spares(2);
+        v.request_heal().unwrap();
+        assert!(!v.write_fenced());
+        v.write(0, &data[..16]).unwrap();
+        while v.rebuild_progress().is_some() {
+            v.maintain(2).unwrap();
+        }
+        assert!(v.failed_disks().is_empty());
+        assert!(v.verify_all());
     }
 
     #[test]

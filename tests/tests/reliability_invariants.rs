@@ -1,0 +1,146 @@
+//! Property tests over the reliability models: MTTDL must respond to its
+//! inputs with the right sign, for every registered code.
+//!
+//! The invariants pinned here are what makes the measured-MTTR feedback
+//! loop in `raid-fleet` trustworthy: slower rebuilds (lower throttle
+//! rate) must never *raise* the predicted MTTDL, more spares must never
+//! lower it, and more disks must never raise it.
+
+use proptest::prelude::*;
+
+use disk_sim::DiskProfile;
+use raid_array::mttr::{estimate_rebuild, estimate_rebuild_throttled};
+use raid_array::reliability::{mttdl_from_inputs, MttdlInputs};
+use raid_verify::{build, CODE_NAMES};
+
+const MS_TO_HOURS: f64 = 1.0 / 3_600_000.0;
+const STRIPES: usize = 64;
+
+fn registry_code() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(CODE_NAMES.to_vec())
+}
+
+fn small_prime() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![5usize, 13])
+}
+
+/// MTTDL of `code` with the rebuild windows of a throttled rebuild at
+/// `rate` and the given spare pool.
+fn mttdl_at(
+    code: &dyn raid_core::ArrayCode,
+    rate: f64,
+    spares: usize,
+    spare_replenish_h: f64,
+) -> f64 {
+    let est = estimate_rebuild_throttled(code, STRIPES, DiskProfile::savvio_10k(), rate);
+    mttdl_from_inputs(&MttdlInputs {
+        disks: code.layout().cols(),
+        mttf_hours: 1.0e6,
+        rebuild_one_h: est.single_ms * MS_TO_HOURS,
+        rebuild_two_h: est.double_ms * MS_TO_HOURS,
+        spares,
+        spare_replenish_h,
+    })
+    .mttdl_h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A faster rebuild (higher throttle rate) strictly shortens the
+    /// exposure window, so MTTDL strictly rises with the rate.
+    #[test]
+    fn mttdl_rises_with_rebuild_rate(
+        name in registry_code(),
+        p in small_prime(),
+        lo_pct in 5u32..90,
+        step_pct in 5u32..10,
+    ) {
+        // Some registry codes reject one of the primes; skip those.
+        if let Ok(code) = build(name, p) {
+            let lo = lo_pct as f64 / 100.0;
+            let hi = ((lo_pct + step_pct) as f64 / 100.0).min(1.0);
+            let slow = mttdl_at(code.as_ref(), lo, 1, 24.0);
+            let fast = mttdl_at(code.as_ref(), hi, 1, 24.0);
+            prop_assert!(
+                fast > slow,
+                "{name} p={p}: MTTDL fell from {slow:.3e} to {fast:.3e} \
+                 as rate rose {lo:.2} -> {hi:.2}"
+            );
+        }
+    }
+
+    /// A deeper spare pool shortens the expected wait for a replacement,
+    /// so MTTDL rises (strictly, while the replenish delay is nonzero).
+    #[test]
+    fn mttdl_rises_with_spare_count(
+        name in registry_code(),
+        p in small_prime(),
+        spares in 0usize..6,
+    ) {
+        if let Ok(code) = build(name, p) {
+            let shallow = mttdl_at(code.as_ref(), 1.0, spares, 24.0);
+            let deep = mttdl_at(code.as_ref(), 1.0, spares + 1, 24.0);
+            prop_assert!(
+                deep > shallow,
+                "{name} p={p}: MTTDL fell from {shallow:.3e} to {deep:.3e} \
+                 as spares rose {spares} -> {}", spares + 1
+            );
+        }
+    }
+
+    /// More disks mean more ways to take the second and third hit: with
+    /// the repair windows held fixed, MTTDL strictly falls as the array
+    /// widens.
+    #[test]
+    fn mttdl_falls_with_disk_count(
+        disks in 4usize..64,
+        rebuild_tenths_h in 5u32..480,
+        replenish_h in 0u32..96,
+        spares in 0usize..4,
+    ) {
+        let rebuild_one_h = rebuild_tenths_h as f64 / 10.0;
+        let replenish = replenish_h as f64;
+        let at = |disks: usize| {
+            mttdl_from_inputs(&MttdlInputs {
+                disks,
+                mttf_hours: 1.0e6,
+                rebuild_one_h,
+                rebuild_two_h: rebuild_one_h * 1.5,
+                spares,
+                spare_replenish_h: replenish,
+            })
+            .mttdl_h
+        };
+        prop_assert!(at(disks + 1) < at(disks));
+    }
+
+    /// The same code at a larger prime has both more disks and a longer
+    /// rebuild, so its MTTDL is strictly worse end to end.
+    #[test]
+    fn wider_arrays_of_the_same_code_are_less_reliable(
+        name in registry_code(),
+        spares in 0usize..4,
+    ) {
+        if let (Ok(narrow), Ok(wide)) = (build(name, 5), build(name, 13)) {
+            let n = mttdl_at(narrow.as_ref(), 1.0, spares, 24.0);
+            let w = mttdl_at(wide.as_ref(), 1.0, spares, 24.0);
+            prop_assert!(w < n, "{name}: p=13 MTTDL {w:.3e} !< p=5 {n:.3e}");
+        }
+    }
+
+    /// The throttled estimate degenerates to the plain one at rate 1.
+    #[test]
+    fn throttled_estimate_is_exact_at_full_rate(
+        name in registry_code(),
+        p in small_prime(),
+    ) {
+        if let Ok(code) = build(name, p) {
+            let profile = DiskProfile::savvio_10k();
+            let full = estimate_rebuild(code.as_ref(), STRIPES, profile);
+            let throttled =
+                estimate_rebuild_throttled(code.as_ref(), STRIPES, profile, 1.0);
+            prop_assert_eq!(full, throttled);
+        }
+    }
+}
