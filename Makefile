@@ -2,7 +2,7 @@
 
 CARGO ?= cargo
 
-.PHONY: build test bench bench-smoke chaos-smoke fleet-smoke threads-smoke tsan-smoke lint miri test-kernel-audit verify clean
+.PHONY: build test bench bench-smoke chaos-smoke fleet-smoke threads-smoke tsan-smoke serve-smoke lint miri test-kernel-audit verify clean
 
 build:
 	$(CARGO) build --release
@@ -80,6 +80,14 @@ tsan-smoke:
 		echo "tsan-smoke: nightly + rust-src unavailable, skipping (see 'hvraid lint --schedules')"; \
 	fi
 
+# End-to-end smoke of the service front-end: `hvraid serve` on a temp
+# unix socket over a file-backed volume, a scripted client proving byte
+# identity through the protocol (EXPECT assertions), a Prometheus stats
+# scrape, a clean SHUTDOWN flush, then fsck must find the on-disk array
+# parity-consistent.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
 # Static analysis gate: warnings-as-errors clippy across every target,
 # the (gated) miri pass over the unsafe kernels, then the symbolic
 # verifier proving every registered code at every default prime — now
@@ -119,6 +127,7 @@ verify:
 	$(MAKE) tsan-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) bench-smoke
 
 clean:

@@ -13,6 +13,7 @@ use raid_array::{
 use raid_core::plan::update::update_complexity;
 use raid_core::schedule::double_failure_schedule;
 use raid_core::{invariants, ArrayCode};
+use raid_service::{ServerConfig, Service, ServiceConfig};
 use raid_workloads::textio::parse_trace;
 
 use crate::args::Parsed;
@@ -78,6 +79,25 @@ commands:
                                            rebuilds flat-out), measured MTTR fed
                                            back into the MTTDL model; --json is
                                            byte-identical for a fixed seed
+  serve     --socket <path> [--code hv] [--p 5] [--stripes 16] [--element 64]
+            [--dir <dir>] [--coalesce true] [--queue-depth 256] [--workers 4]
+            [--partitions N]
+                                           serve the volume as a concurrent block
+                                           service on a unix socket (line protocol:
+                                           HELLO/READ/WRITE/FLUSH/STATS/QUIT/
+                                           SHUTDOWN); --dir persists to a file-backed
+                                           volume, reopening an existing one;
+                                           --coalesce false dispatches pass-through
+                                           (no write merging, cache off); runs until
+                                           a client sends SHUTDOWN, then drains,
+                                           flushes, and exits
+  connect   --socket <path> [--script <file>]
+                                           scripted client session against a served
+                                           volume (script from --script or stdin, one
+                                           verb per line plus EXPECT <hex> to assert
+                                           the previous READ); prints the transcript
+  stats     --socket <path>                fetch the Prometheus text-format metrics
+                                           snapshot from a running server
   lint      [--code <name>] [--p <prime>] [--all] [--json] [--opt]
             [--min-savings <pct>] [--hazards] [--journal] [--schedules]
                                            statically verify compiled plans: symbolic
@@ -129,6 +149,9 @@ pub fn run_with_status(parsed: &Parsed) -> Result<(String, u8), String> {
                 "volume" => volume_lifecycle(parsed),
                 "chaos" => chaos_campaign(parsed),
                 "fleet" => fleet_campaign(parsed),
+                "serve" => serve(parsed),
+                "connect" => connect(parsed),
+                "stats" => stats(parsed),
                 "lint" => lint(parsed),
                 "help" | "--help" => Ok(USAGE.to_string()),
                 _ => Err(format!("unknown command '{other}'\n\n{USAGE}")),
@@ -870,6 +893,103 @@ fn lint(parsed: &Parsed) -> Result<String, String> {
     Ok(lines.join("\n"))
 }
 
+/// Serves a volume as a concurrent block service on a unix socket until
+/// a client sends `SHUTDOWN`. `--dir` persists to a file-backed volume
+/// (reopened when metadata already exists, created otherwise); without
+/// it the volume is in-memory and vanishes with the server.
+fn serve(parsed: &Parsed) -> Result<String, String> {
+    let name = parsed.get_or("code", "hv".to_string())?;
+    let p = parsed.get_or("p", 5usize)?;
+    let code = build(&name, p)?;
+    let stripes = parsed.get_or("stripes", 16usize)?;
+    let element = parsed.get_or("element", 64usize)?;
+    let socket = parsed.require("socket")?;
+    let layout = code.layout();
+
+    let volume = match parsed.flags.get("dir") {
+        None => RaidVolume::in_memory(Arc::clone(&code), stripes, element),
+        Some(dir) if VolumeMeta::load(dir).is_ok() => {
+            let meta = VolumeMeta::load(dir).map_err(|e| format!("{dir}: {e}"))?;
+            let code = build(&meta.code, meta.p)?;
+            let backend = FileBackend::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+            RaidVolume::open(code, Box::new(backend), meta.rotate).map_err(|e| e.to_string())?
+        }
+        Some(dir) => {
+            let backend =
+                FileBackend::create(dir, layout.cols(), stripes * layout.rows(), element)
+                    .map_err(|e| format!("{dir}: {e}"))?;
+            VolumeMeta {
+                code: name.to_string(),
+                p,
+                stripes,
+                element_size: element,
+                rotate: false,
+                rebuild_checkpoint: None,
+            }
+            .save(dir)
+            .map_err(|e| format!("{dir}: {e}"))?;
+            RaidVolume::new(Arc::clone(&code), stripes, element, Box::new(backend))
+                .map_err(|e| e.to_string())?
+        }
+    };
+
+    let cfg = ServiceConfig {
+        coalesce: parsed.get_or("coalesce", true)?,
+        queue_depth: parsed.get_or("queue-depth", 256usize)?,
+        partitions: parsed.flags.get("partitions").map(|v| v.parse()).transpose().map_err(
+            |_| "bad value for --partitions".to_string(),
+        )?,
+        ..ServiceConfig::default()
+    };
+    let svc = Service::new(volume, cfg);
+    let server_cfg = ServerConfig {
+        socket: std::path::PathBuf::from(socket),
+        workers: parsed.get_or("workers", 4usize)?,
+    };
+    eprintln!("hvraid serve: listening on {socket} ({} p={p})", code.name());
+    raid_service::serve(&svc, &server_cfg).map_err(|e| e.to_string())?;
+    let stats = svc.stats();
+    Ok(format!(
+        "serve: shut down cleanly — {} ops from {} sessions, {} dispatch rounds, \
+         {} writes merged into {} runs, final flush complete ✔",
+        stats.ops_total(),
+        stats.tenants.len(),
+        stats.rounds,
+        stats.merged_writes + stats.write_runs,
+        stats.write_runs,
+    ))
+}
+
+/// Drives a served volume through a scripted client session. The script
+/// (a file via `--script`, else stdin) is one protocol verb per line
+/// (HELLO/READ/WRITE/FLUSH/STATS/QUIT/SHUTDOWN), plus the client-side
+/// `EXPECT <hex>` assertion on the previous READ; `#` starts a comment.
+fn connect(parsed: &Parsed) -> Result<String, String> {
+    let socket = parsed.require("socket")?;
+    let script = match parsed.flags.get("script") {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("stdin: {e}"))?;
+            buf
+        }
+    };
+    raid_service::run_script(std::path::Path::new(socket), &script)
+}
+
+/// Fetches the Prometheus text-format metrics snapshot from a running
+/// server (ledger per-disk I/O, cache hit rates, health, per-tenant
+/// latency quantiles).
+fn stats(parsed: &Parsed) -> Result<String, String> {
+    let socket = parsed.require("socket")?;
+    raid_service::fetch_stats(std::path::Path::new(socket))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -882,6 +1002,63 @@ mod tests {
 
     fn run_line_status(line: &[&str]) -> Result<(String, u8), String> {
         run_with_status(&parse(line.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn serve_connect_stats_end_to_end() {
+        let tag = std::process::id();
+        let socket = std::env::temp_dir().join(format!("hvraid-cli-serve-{tag}.sock"));
+        let sock = socket.to_str().unwrap().to_string();
+        let server = std::thread::spawn({
+            let sock = sock.clone();
+            move || {
+                run(&parse(
+                    ["serve", "--socket", &sock, "--p", "5", "--stripes", "4", "--element", "8"]
+                        .iter()
+                        .map(|s| s.to_string()),
+                )
+                .unwrap())
+            }
+        });
+        for _ in 0..400 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        let script_path = std::env::temp_dir().join(format!("hvraid-cli-script-{tag}.txt"));
+        let payload = "aa55".repeat(8); // two 8-byte elements
+        std::fs::write(
+            &script_path,
+            format!(
+                "# smoke session\nHELLO cli writer\nWRITE 0 {payload}\nREAD 0 2\n\
+                 EXPECT {payload}\nFLUSH\nQUIT\n"
+            ),
+        )
+        .unwrap();
+        let transcript = run_line(&[
+            "connect", "--socket", &sock, "--script", script_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(transcript.contains("OK wrote 2"), "{transcript}");
+        assert!(transcript.contains("# EXPECT ok"), "{transcript}");
+
+        let metrics = run_line(&["stats", "--socket", &sock]).unwrap();
+        assert!(metrics.contains("hvraid_cache_flushes_total"), "{metrics}");
+        assert!(
+            metrics.contains("hvraid_service_ops_total{tenant=\"cli\",class=\"writer\"}"),
+            "{metrics}"
+        );
+
+        let shutdown_script = std::env::temp_dir().join(format!("hvraid-cli-shutdown-{tag}.txt"));
+        std::fs::write(&shutdown_script, "HELLO cli2 reader\nSHUTDOWN\n").unwrap();
+        run_line(&["connect", "--socket", &sock, "--script", shutdown_script.to_str().unwrap()])
+            .unwrap();
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("shut down cleanly"), "{out}");
+        let _ = std::fs::remove_file(script_path);
+        let _ = std::fs::remove_file(shutdown_script);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   hybrid-chain single-disk recovery optimizer (Fig. 9a);
 //! * [`io`] — per-disk request sets, the cumulative [`io::IoLedger`], and
 //!   the load-balancing rate λ of Eq. (7);
+//! * [`stats`] — shared percentile / EWMA / latency-histogram math used
+//!   by every consumer that reports a distribution (fleet QoS, service
+//!   front-end, benches);
 //! * [`invariants`] — structural checkers shared by every code's test suite.
 //!
 //! The trait [`code::ArrayCode`] ties a layout to its construction
@@ -43,6 +46,7 @@ pub mod plan;
 pub mod schedule;
 pub mod scrub;
 pub mod spec;
+pub mod stats;
 pub mod stripe;
 pub mod xopt;
 pub mod xplan;

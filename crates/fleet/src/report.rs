@@ -9,47 +9,10 @@
 
 use std::fmt;
 
-/// Summary statistics of one sample population.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct DistSummary {
-    /// Samples observed.
-    pub count: u64,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Median.
-    pub p50: f64,
-    /// 95th percentile.
-    pub p95: f64,
-    /// Largest sample.
-    pub max: f64,
-}
-
-impl DistSummary {
-    /// Summarizes `samples` (sorted in place); `None` when empty.
-    pub fn from(samples: &mut [f64]) -> Option<DistSummary> {
-        if samples.is_empty() {
-            return None;
-        }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        Some(DistSummary {
-            count: samples.len() as u64,
-            mean,
-            p50: percentile(samples, 0.50),
-            p95: percentile(samples, 0.95),
-            max: *samples.last().expect("non-empty"),
-        })
-    }
-}
-
-/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
-pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-    sorted[idx]
-}
+// The distribution math is shared workspace-wide (the service front-end
+// reports from the same definitions); re-exported here so fleet callers
+// keep their historical import paths.
+pub use raid_core::stats::{percentile, DistSummary};
 
 /// Shared hot-spare pool over the run.
 #[derive(Debug, Clone, PartialEq)]

@@ -38,6 +38,7 @@ use disk_sim::DiskQueues;
 use raid_array::mttr::{estimate_rebuild, measured_rebuild_ms};
 use raid_array::reliability::{estimate_mttdl, mttdl_from_inputs, MttdlInputs};
 use raid_array::{RaidVolume, RebuildThrottle, VolumeError};
+use raid_core::stats::Ewma;
 use raid_core::{ArrayCode, Cell};
 use raid_workloads::skew::zipf_write_trace;
 
@@ -129,7 +130,7 @@ struct Slot {
     trace_pos: usize,
     throttle: RebuildThrottle,
     /// EWMA of healthy-tick foreground p99, the throttle's baseline.
-    healthy_p99_ms: Option<f64>,
+    healthy_p99: Ewma,
     /// Hour each currently-failed disk died.
     fail_time_h: BTreeMap<usize, f64>,
     /// Spare requests issued and not yet granted.
@@ -210,7 +211,7 @@ pub fn run(code: &Arc<dyn ArrayCode>, cfg: &FleetConfig) -> FleetReport {
                 trace,
                 trace_pos: 0,
                 throttle: RebuildThrottle::new(cfg.throttle),
-                healthy_p99_ms: None,
+                healthy_p99: Ewma::new(0.2),
                 fail_time_h: BTreeMap::new(),
                 requests_out: 0,
                 episode_io: vec![0; disks],
@@ -372,7 +373,8 @@ pub fn run(code: &Arc<dyn ArrayCode>, cfg: &FleetConfig) -> FleetReport {
                 rebuild_ticks += 1;
                 if cfg.qos {
                     let baseline = slot
-                        .healthy_p99_ms
+                        .healthy_p99
+                        .value()
                         .or(tick_p99)
                         .unwrap_or(service_ms);
                     slot.throttle.observe(tick_p99, baseline);
@@ -386,8 +388,7 @@ pub fn run(code: &Arc<dyn ArrayCode>, cfg: &FleetConfig) -> FleetReport {
             } else if failed_now == 0 {
                 fg_healthy_ms.extend_from_slice(&tick_lat);
                 if let Some(p99) = tick_p99 {
-                    slot.healthy_p99_ms =
-                        Some(slot.healthy_p99_ms.map_or(p99, |e| 0.8 * e + 0.2 * p99));
+                    slot.healthy_p99.observe(p99);
                 }
             }
 

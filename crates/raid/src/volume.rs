@@ -409,6 +409,12 @@ impl RaidVolume {
         self.stripes
     }
 
+    /// The linear-address-to-stripe map (the service scheduler buckets
+    /// incoming ops with it before dispatching per partition).
+    pub fn addressing(&self) -> &Addressing {
+        &self.addressing
+    }
+
     /// Element size in bytes.
     pub fn element_size(&self) -> usize {
         self.element_size

@@ -1,0 +1,189 @@
+//! The line-framed client protocol spoken over the unix socket.
+//!
+//! One request per line, one response per request; payloads are
+//! hex-encoded so the framing stays printable and a session can be
+//! driven from a script file (`hvraid connect --script`). Verbs:
+//!
+//! ```text
+//! HELLO <tenant> <reader|writer|mixed>   -> OK session <id> elements <n> element_size <b>
+//! READ <addr> <len>                      -> OK data <hex>
+//! WRITE <addr> <hex>                     -> OK wrote <elements>
+//! FLUSH                                  -> OK flushed
+//! STATS                                  -> OK stats <lines>   (then that many metric lines)
+//! QUIT                                   -> OK bye             (closes the connection)
+//! SHUTDOWN                               -> OK shutdown        (drains, flushes, stops the server)
+//! ```
+//!
+//! Errors come back as a single `ERR <kind>: <detail>` line; `ERR busy`
+//! and `ERR throttled` are retryable backpressure, everything else is a
+//! hard failure for that request.
+
+use crate::scheduler::{ServiceError, TenantClass};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open the session: tenant label + traffic class.
+    Hello {
+        /// Tenant label (metrics dimension).
+        tenant: String,
+        /// Declared traffic class.
+        class: TenantClass,
+    },
+    /// Read `len` elements at `addr`.
+    Read {
+        /// First element.
+        addr: usize,
+        /// Element count.
+        len: usize,
+    },
+    /// Write the decoded payload at `addr`.
+    Write {
+        /// First element.
+        addr: usize,
+        /// Raw bytes (multiple of the element size).
+        data: Vec<u8>,
+    },
+    /// Flush dirty cached stripes.
+    Flush,
+    /// Fetch the Prometheus metrics snapshot.
+    Stats,
+    /// Close this connection.
+    Quit,
+    /// Drain, flush, and stop the whole server.
+    Shutdown,
+}
+
+/// Encodes bytes as lower-case hex.
+#[must_use]
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        s.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+    }
+    s
+}
+
+/// Decodes lower- or upper-case hex.
+///
+/// # Errors
+///
+/// Returns a message on odd length or a non-hex digit.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("hex payload has odd length {}", s.len()));
+    }
+    let digit = |c: char| c.to_digit(16).ok_or_else(|| format!("bad hex digit {c:?}"));
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let mut chars = s.chars();
+    while let (Some(hi), Some(lo)) = (chars.next(), chars.next()) {
+        out.push(((digit(hi)? as u8) << 4) | digit(lo)? as u8);
+    }
+    Ok(out)
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a user-facing message on an unknown verb or malformed
+/// arguments.
+pub fn parse(line: &str) -> Result<Request, String> {
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().ok_or("empty request")?;
+    let mut arg = |name: &str| {
+        parts.next().map(str::to_string).ok_or_else(|| format!("{verb}: missing <{name}>"))
+    };
+    let req = match verb.to_ascii_uppercase().as_str() {
+        "HELLO" => {
+            let tenant = arg("tenant")?;
+            let class_s = arg("class")?;
+            let class = TenantClass::parse(&class_s)
+                .ok_or_else(|| format!("unknown class {class_s:?} (reader|writer|mixed)"))?;
+            Request::Hello { tenant, class }
+        }
+        "READ" => {
+            let addr = parse_usize(&arg("addr")?)?;
+            let len = parse_usize(&arg("len")?)?;
+            Request::Read { addr, len }
+        }
+        "WRITE" => {
+            let addr = parse_usize(&arg("addr")?)?;
+            let data = from_hex(&arg("hex-payload")?)?;
+            Request::Write { addr, data }
+        }
+        "FLUSH" => Request::Flush,
+        "STATS" => Request::Stats,
+        "QUIT" => Request::Quit,
+        "SHUTDOWN" => Request::Shutdown,
+        other => return Err(format!("unknown verb {other:?}")),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(format!("{verb}: unexpected trailing argument {extra:?}"));
+    }
+    Ok(req)
+}
+
+fn parse_usize(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("expected a non-negative integer, got {s:?}"))
+}
+
+/// Renders a [`ServiceError`] as the protocol's `ERR` line.
+#[must_use]
+pub fn err_line(e: &ServiceError) -> String {
+    match e {
+        ServiceError::Busy { queued } => format!("ERR busy: {queued} ops queued"),
+        ServiceError::Throttled { wanted, available } => {
+            format!("ERR throttled: cost {wanted} elements, bucket {available}")
+        }
+        ServiceError::Volume(v) => format!("ERR volume: {v}"),
+        ServiceError::BadRequest(m) => format!("ERR bad-request: {m}"),
+        ServiceError::Closed => "ERR closed: service shut down".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(from_hex("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse("HELLO t0 writer").unwrap(),
+            Request::Hello { tenant: "t0".into(), class: TenantClass::Writer }
+        );
+        assert_eq!(parse("read 3 2").unwrap(), Request::Read { addr: 3, len: 2 });
+        assert_eq!(parse("WRITE 7 00ff").unwrap(), Request::Write { addr: 7, data: vec![0, 255] });
+        assert_eq!(parse("FLUSH").unwrap(), Request::Flush);
+        assert_eq!(parse("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse("QUIT").unwrap(), Request::Quit);
+        assert_eq!(parse("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("").is_err());
+        assert!(parse("HELLO t0 admin").is_err());
+        assert!(parse("READ 1").is_err());
+        assert!(parse("READ 1 2 3").is_err());
+        assert!(parse("WRITE x 00").is_err());
+        assert!(parse("NOPE").is_err());
+    }
+
+    #[test]
+    fn err_lines_are_single_line() {
+        let e = ServiceError::Busy { queued: 9 };
+        assert_eq!(err_line(&e), "ERR busy: 9 ops queued");
+        assert!(!err_line(&ServiceError::BadRequest("x\ny".into())).starts_with("OK"));
+    }
+}

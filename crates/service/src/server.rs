@@ -1,0 +1,343 @@
+//! The unix-socket front door: one acceptor thread plus a fixed worker
+//! pool, all feeding the in-process [`Service`] scheduler.
+//!
+//! The repo is offline (no tokio); concurrency is plain threads in the
+//! shape the rest of the workspace uses. The acceptor pushes accepted
+//! streams onto an [`mpsc`] channel; each worker serves one connection at
+//! a time to completion (line in, line out — see [`crate::proto`]).
+//! `SHUTDOWN` from any client flags the server, wakes the acceptor with
+//! a self-connection, drains the scheduler, flushes the volume, and
+//! joins every thread before [`serve`] returns — the clean-shutdown
+//! contract the serve-smoke gate asserts with a post-mortem `fsck`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use crate::metrics::prometheus_text;
+use crate::proto::{self, Request};
+use crate::scheduler::{Service, ServiceHandle};
+use std::io;
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Path of the unix socket to bind (an existing file is replaced).
+    pub socket: PathBuf,
+    /// Connection-serving worker threads.
+    pub workers: usize,
+}
+
+impl ServerConfig {
+    /// A server on `socket` with 4 workers.
+    #[must_use]
+    pub fn new(socket: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig { socket: socket.into(), workers: 4 }
+    }
+}
+
+/// Binds the socket and serves clients until one sends `SHUTDOWN`.
+///
+/// Blocks the calling thread. On return the scheduler is drained, the
+/// volume flushed, all threads joined, and the socket file removed.
+///
+/// # Errors
+///
+/// Propagates socket bind/IO errors; per-connection errors only end that
+/// connection.
+pub fn serve(svc: &Arc<Service>, cfg: &ServerConfig) -> io::Result<()> {
+    let _ = std::fs::remove_file(&cfg.socket);
+    let listener = UnixListener::bind(&cfg.socket)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<UnixStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    thread::scope(|scope| {
+        for _ in 0..cfg.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let svc = Arc::clone(svc);
+            let stop = Arc::clone(&stop);
+            let socket = cfg.socket.clone();
+            scope.spawn(move || loop {
+                let next = rx.lock().expect("worker channel poisoned").recv();
+                match next {
+                    Ok(stream) => {
+                        if serve_connection(&svc, stream) == Outcome::Shutdown {
+                            request_stop(&stop, &socket);
+                        }
+                    }
+                    Err(_) => return, // acceptor gone, queue drained
+                }
+            });
+        }
+        // Acceptor: runs on the calling thread.
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    if tx.send(s).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        drop(tx); // workers drain the backlog, then exit
+    });
+
+    let _ = std::fs::remove_file(&cfg.socket);
+    svc.shutdown().map_err(|e| io::Error::other(e.to_string()))
+}
+
+/// Flags the acceptor and wakes it with a throwaway connection.
+fn request_stop(stop: &AtomicBool, socket: &Path) {
+    if !stop.swap(true, Ordering::SeqCst) {
+        let _ = UnixStream::connect(socket);
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Outcome {
+    Closed,
+    Shutdown,
+}
+
+/// Serves one client connection to completion.
+fn serve_connection(svc: &Arc<Service>, stream: UnixStream) -> Outcome {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return Outcome::Closed,
+    };
+    let mut writer = stream;
+    let mut session: Option<ServiceHandle> = None;
+    for line in reader.lines() {
+        let Ok(line) = line else { return Outcome::Closed };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match proto::parse(&line) {
+            Err(msg) => format!("ERR bad-request: {msg}"),
+            Ok(Request::Quit) => {
+                let _ = writeln!(writer, "OK bye");
+                return Outcome::Closed;
+            }
+            Ok(Request::Shutdown) => {
+                let _ = writeln!(writer, "OK shutdown");
+                return Outcome::Shutdown;
+            }
+            Ok(Request::Hello { tenant, class }) => {
+                let handle = svc.session(&tenant, class);
+                let reply = format!(
+                    "OK session {tenant} elements {} element_size {}",
+                    svc.data_elements(),
+                    svc.element_size()
+                );
+                session = Some(handle);
+                reply
+            }
+            Ok(req) => match &session {
+                None => "ERR bad-request: HELLO first".to_string(),
+                Some(h) => respond(h, &req),
+            },
+        };
+        if writeln!(writer, "{reply}").is_err() {
+            return Outcome::Closed;
+        }
+    }
+    Outcome::Closed
+}
+
+/// Executes a post-HELLO request and renders the response line(s).
+fn respond(h: &ServiceHandle, req: &Request) -> String {
+    match req {
+        Request::Read { addr, len } => match h.read(*addr, *len) {
+            Ok(bytes) => format!("OK data {}", proto::to_hex(&bytes)),
+            Err(e) => proto::err_line(&e),
+        },
+        Request::Write { addr, data } => match h.write(*addr, data) {
+            Ok(elements) => format!("OK wrote {elements}"),
+            Err(e) => proto::err_line(&e),
+        },
+        Request::Flush => match h.flush() {
+            Ok(()) => "OK flushed".to_string(),
+            Err(e) => proto::err_line(&e),
+        },
+        Request::Stats => {
+            let text = prometheus_text(&h.stats());
+            let mut out = format!("OK stats {}", text.lines().count());
+            for l in text.lines() {
+                out.push('\n');
+                out.push_str(l);
+            }
+            out
+        }
+        Request::Hello { .. } | Request::Quit | Request::Shutdown => {
+            unreachable!("handled by the connection loop")
+        }
+    }
+}
+
+/// A scripted client for `hvraid connect` and the smoke gate: sends each
+/// non-comment line of `script`, collects responses, and applies two
+/// client-side directives —
+///
+/// * `EXPECT <hex>` asserts the previous `READ` returned exactly those
+///   bytes;
+/// * `# …` lines are comments.
+///
+/// Returns the full transcript (`> request` / `< response` interleaved).
+///
+/// # Errors
+///
+/// IO errors talking to the socket, protocol `ERR` responses, and
+/// `EXPECT` mismatches all abort the script with a message.
+pub fn run_script(socket: &Path, script: &str) -> Result<String, String> {
+    let stream = UnixStream::connect(socket)
+        .map_err(|e| format!("connect {}: {e}", socket.display()))?;
+    let mut reader = BufReader::new(
+        stream.try_clone().map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let mut writer = stream;
+    let mut transcript = String::new();
+    let mut last_data: Option<String> = None;
+
+    let read_line = |reader: &mut BufReader<UnixStream>| -> Result<String, String> {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).map_err(|e| format!("read response: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        Ok(line.trim_end().to_string())
+    };
+
+    for raw in script.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(expected) = line.strip_prefix("EXPECT ") {
+            let got = last_data.as_deref().unwrap_or("");
+            if got != expected.trim() {
+                return Err(format!("EXPECT mismatch: wanted {expected}, got {got}"));
+            }
+            transcript.push_str("# EXPECT ok\n");
+            continue;
+        }
+        writeln!(writer, "{line}").map_err(|e| format!("send {line:?}: {e}"))?;
+        transcript.push_str("> ");
+        transcript.push_str(line);
+        transcript.push('\n');
+        let reply = read_line(&mut reader)?;
+        transcript.push_str("< ");
+        transcript.push_str(&reply);
+        transcript.push('\n');
+        if let Some(rest) = reply.strip_prefix("OK stats ") {
+            let n: usize =
+                rest.parse().map_err(|_| format!("bad stats line count {rest:?}"))?;
+            for _ in 0..n {
+                let metric = read_line(&mut reader)?;
+                transcript.push_str(&metric);
+                transcript.push('\n');
+            }
+        } else if let Some(hex) = reply.strip_prefix("OK data ") {
+            last_data = Some(hex.to_string());
+        } else if reply.starts_with("ERR") {
+            return Err(format!("{line} -> {reply}"));
+        }
+    }
+    Ok(transcript)
+}
+
+/// Connects, opens a throwaway `metrics` session, and returns the
+/// Prometheus text snapshot — the transport behind `hvraid stats`.
+///
+/// # Errors
+///
+/// IO errors and protocol `ERR` responses are returned as messages.
+pub fn fetch_stats(socket: &Path) -> Result<String, String> {
+    let stream = UnixStream::connect(socket)
+        .map_err(|e| format!("connect {}: {e}", socket.display()))?;
+    let mut reader = BufReader::new(
+        stream.try_clone().map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let mut writer = stream;
+    let mut exchange = |cmd: &str| -> Result<String, String> {
+        writeln!(writer, "{cmd}").map_err(|e| format!("send {cmd}: {e}"))?;
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("read response: {e}"))?;
+        let line = line.trim_end().to_string();
+        if line.starts_with("ERR") || line.is_empty() {
+            return Err(format!("{cmd} -> {line}"));
+        }
+        Ok(line)
+    };
+    exchange("HELLO metrics reader")?;
+    let head = exchange("STATS")?;
+    let n: usize = head
+        .strip_prefix("OK stats ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unexpected stats header {head:?}"))?;
+    let mut out = String::new();
+    for _ in 0..n {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("read metrics: {e}"))?;
+        out.push_str(&line);
+    }
+    let _ = writeln!(writer, "QUIT");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use hv_code::HvCode;
+    use raid_array::RaidVolume;
+    use raid_core::ArrayCode;
+
+    use crate::scheduler::{Service, ServiceConfig};
+
+    use super::*;
+
+    fn temp_socket(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("hvraid-test-{tag}-{}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn socket_session_roundtrip_and_shutdown() {
+        let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(5).unwrap());
+        let volume = RaidVolume::in_memory(code, 4, 8);
+        let svc = Service::new(volume, ServiceConfig::default());
+        let socket = temp_socket("roundtrip");
+        let cfg = ServerConfig { socket: socket.clone(), workers: 2 };
+
+        let server = {
+            let svc = Arc::clone(&svc);
+            let cfg = cfg.clone();
+            thread::spawn(move || serve(&svc, &cfg))
+        };
+        // Wait for the bind.
+        for _ in 0..200 {
+            if socket.exists() {
+                break;
+            }
+            thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        let payload = proto::to_hex(&[0xab; 16]); // two 8-byte elements
+        let script = format!(
+            "HELLO smoke writer\nWRITE 2 {payload}\nREAD 2 2\nEXPECT {payload}\nFLUSH\nSTATS\nSHUTDOWN\n"
+        );
+        let transcript = run_script(&socket, &script).expect("script runs clean");
+        assert!(transcript.contains("OK wrote 2"));
+        assert!(transcript.contains("# EXPECT ok"));
+        assert!(transcript.contains("hvraid_service_ops_total{tenant=\"smoke\",class=\"writer\"}"));
+        server.join().unwrap().expect("clean shutdown");
+        assert!(!socket.exists(), "socket file removed on shutdown");
+    }
+}
