@@ -183,4 +183,33 @@ mod tests {
         assert!(text.contains("hvraid_cache_flushes_total"));
         assert!(text.contains("quantile=\"0.99\""));
     }
+
+    /// Repeated or concurrent sessions under one tenant label pair must
+    /// not emit duplicate series (identical label sets are invalid
+    /// exposition format), and zero-op scrape sessions emit nothing.
+    #[test]
+    fn duplicate_label_sets_never_rendered() {
+        let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(5).unwrap());
+        let volume = RaidVolume::in_memory(code, 4, 16);
+        let svc = Service::new(volume, ServiceConfig::default());
+        let a = svc.session("t0", TenantClass::Writer);
+        let b = svc.session("t0", TenantClass::Writer);
+        a.write(0, &[1u8; 16]).unwrap();
+        b.write(1, &[2u8; 16]).unwrap();
+        a.close();
+        // Scrape-style churn: open, snapshot, close.
+        for _ in 0..3 {
+            let m = svc.session("metrics", TenantClass::Reader);
+            let _ = prometheus_text(&m.stats());
+            m.close();
+        }
+        let text = prometheus_text(&svc.stats());
+        assert_eq!(
+            text.matches("hvraid_service_ops_total{tenant=\"t0\",class=\"writer\"}").count(),
+            1,
+            "one series per label set"
+        );
+        assert!(text.contains("hvraid_service_ops_total{tenant=\"t0\",class=\"writer\"} 2"));
+        assert!(!text.contains("tenant=\"metrics\""), "zero-op sessions emit no series");
+    }
 }

@@ -31,7 +31,22 @@
 //! partition's work arrives contiguously at the volume, whose own flush
 //! path fans the dirty stripes out across partitions. A read or flush op
 //! is a barrier: the stage drains before it executes, so every op
-//! observes all writes admitted before it.
+//! observes all writes admitted before it. Every run is attempted even
+//! when one fails, and each coalesced op is acked `Written` only if the
+//! run carrying its bytes actually succeeded — a degraded array fails
+//! the affected ops with the volume error, never silently.
+//!
+//! Token buckets refill two ways: a fixed quantum per dispatch round
+//! (deterministic pacing under load) and a wall-clock quantum per
+//! [`ServiceConfig::refill_interval`], credited at admission — so a
+//! throttled client that backs off is eventually admitted even while
+//! the scheduler is idle and no rounds run.
+//!
+//! Sessions are retired with [`ServiceHandle::close`] (the socket server
+//! closes them when a connection ends): the slot is recycled for the
+//! next session and its counters fold into a per-`(tenant, class)`
+//! aggregate, so stats stay monotonic and one tenant never emits
+//! duplicate metric series no matter how many connections carried it.
 //!
 //! Latency is recorded per op from enqueue to completion into a
 //! per-tenant [`Histogram`] ([`raid_core::stats`]), the same percentile
@@ -105,8 +120,15 @@ pub struct ServiceConfig {
     /// Token-bucket capacity per session, in data elements. An op costing
     /// more than the capacity is never admissible.
     pub bucket_capacity: u64,
-    /// Tokens refilled per session per dispatch round.
+    /// Tokens refilled per session per dispatch round *and* per elapsed
+    /// [`ServiceConfig::refill_interval`] of wall-clock time.
     pub bucket_refill: u64,
+    /// Wall-clock token refill period. Buckets also earn
+    /// [`ServiceConfig::bucket_refill`] tokens per elapsed interval,
+    /// credited at admission — so a throttled client that backs off and
+    /// retries is eventually admitted even while the scheduler is idle
+    /// and no dispatch rounds run.
+    pub refill_interval: Duration,
     /// Pin the volume's partition count (`None` = auto).
     pub partitions: Option<usize>,
 }
@@ -120,6 +142,7 @@ impl Default for ServiceConfig {
             drr_quantum: 64,
             bucket_capacity: 65_536,
             bucket_refill: 16_384,
+            refill_interval: Duration::from_millis(1),
             partitions: None,
         }
     }
@@ -203,16 +226,26 @@ impl OpSlot {
         self.result.lock().expect("op slot poisoned").take()
     }
 
-    fn wait_a_little(&self) {
+    /// Sleeps until the slot is set (the combiner notifies on
+    /// completion) or `timeout` elapses — the caller re-checks either
+    /// way, so the timeout is a fallback bound, not a poll interval.
+    fn wait_for(&self, timeout: Duration) {
         let g = self.result.lock().expect("op slot poisoned");
         if g.is_none() {
-            // Bounded wait: a combiner that drained our op notifies us,
-            // but if it released the dispatch lock just before our
-            // enqueue we must wake up and combine ourselves.
-            let _ = self.cv.wait_timeout(g, Duration::from_millis(1)).expect("op slot poisoned");
+            let _ = self.cv.wait_timeout(g, timeout).expect("op slot poisoned");
         }
     }
 }
+
+/// Fallback wait while a combiner is known active: it will complete our
+/// op and notify the slot, so this bound only matters if the combiner
+/// dies mid-drain.
+const COMBINER_FALLBACK: Duration = Duration::from_millis(50);
+
+/// Retry pause for the narrow window where the combiner lock is held
+/// but the combining flag is not (yet) observable — lock acquisition or
+/// release in flight.
+const HANDOFF_RETRY: Duration = Duration::from_micros(200);
 
 struct PendingOp {
     session: usize,
@@ -225,9 +258,16 @@ struct PendingOp {
 struct SessionState {
     tenant: String,
     class: TenantClass,
+    /// False once the session is retired; the slot is then recycled by
+    /// the next [`Service::session`] call.
+    open: bool,
+    /// Distinguishes the current occupant of a recycled slot from stale
+    /// handles onto a previous one.
+    epoch: u64,
     queue: VecDeque<PendingOp>,
     deficit: u64,
     tokens: u64,
+    last_refill: Instant,
     hist: Histogram,
     ops: u64,
     busy_rejections: u64,
@@ -235,13 +275,73 @@ struct SessionState {
     write_elements: u64,
 }
 
+impl SessionState {
+    fn has_activity(&self) -> bool {
+        self.ops > 0
+            || self.busy_rejections > 0
+            || self.read_elements > 0
+            || self.write_elements > 0
+            || self.hist.count() > 0
+    }
+}
+
+/// Counters folded per `(tenant, class)` — retired sessions accumulate
+/// here so closing a connection never resets a Prometheus counter, and
+/// [`Service::stats`] reports one entry per tenant label set no matter
+/// how many sessions carried it.
+#[derive(Clone)]
+struct TenantAccum {
+    tenant: String,
+    class: TenantClass,
+    ops: u64,
+    busy_rejections: u64,
+    read_elements: u64,
+    write_elements: u64,
+    hist: Histogram,
+}
+
+/// Folds `s`'s counters into the accumulator matching its
+/// `(tenant, class)` label pair, creating one if absent.
+fn fold_tenant(accums: &mut Vec<TenantAccum>, s: &SessionState) {
+    let acc = match accums.iter_mut().find(|a| a.tenant == s.tenant && a.class == s.class) {
+        Some(a) => a,
+        None => {
+            accums.push(TenantAccum {
+                tenant: s.tenant.clone(),
+                class: s.class,
+                ops: 0,
+                busy_rejections: 0,
+                read_elements: 0,
+                write_elements: 0,
+                hist: Histogram::new(),
+            });
+            accums.last_mut().expect("just pushed")
+        }
+    };
+    acc.ops += s.ops;
+    acc.busy_rejections += s.busy_rejections;
+    acc.read_elements += s.read_elements;
+    acc.write_elements += s.write_elements;
+    acc.hist.merge(&s.hist);
+}
+
 struct Shared {
     sessions: Vec<SessionState>,
+    /// Retired slots available for reuse by the next `session()`.
+    free: Vec<usize>,
+    /// Per-`(tenant, class)` counters of retired sessions.
+    retired: Vec<TenantAccum>,
     queued: usize,
     rr: usize,
     rounds: u64,
     merged_writes: u64,
     write_runs: u64,
+    /// True while a combiner holds the dispatch lock *and* has not yet
+    /// observed an empty queue under this mutex — while set, every
+    /// already-enqueued op is guaranteed to be completed by that
+    /// combiner, so its submitter may sleep instead of polling.
+    combining: bool,
+    next_epoch: u64,
     closed: bool,
 }
 
@@ -294,7 +394,10 @@ pub struct ServiceStats {
     pub merged_writes: u64,
     /// Contiguous write runs submitted to the volume.
     pub write_runs: u64,
-    /// Per-tenant latency and throughput.
+    /// Per-tenant latency and throughput, aggregated per
+    /// `(tenant, class)` across all sessions ever opened under that
+    /// label pair (closed sessions keep counting; sessions that never
+    /// recorded an op are omitted).
     pub tenants: Vec<TenantStats>,
     /// Disks in the array.
     pub disks: usize,
@@ -367,6 +470,7 @@ impl Service {
         cfg.drr_quantum = cfg.drr_quantum.max(1);
         cfg.bucket_refill = cfg.bucket_refill.max(1);
         cfg.bucket_capacity = cfg.bucket_capacity.max(cfg.bucket_refill);
+        cfg.refill_interval = cfg.refill_interval.max(Duration::from_micros(1));
         if let Some(p) = cfg.partitions {
             volume.set_partitions(Some(p));
         }
@@ -384,11 +488,15 @@ impl Service {
             volume: Mutex::new(volume),
             shared: Mutex::new(Shared {
                 sessions: Vec::new(),
+                free: Vec::new(),
+                retired: Vec::new(),
                 queued: 0,
                 rr: 0,
                 rounds: 0,
                 merged_writes: 0,
                 write_runs: 0,
+                combining: false,
+                next_epoch: 0,
                 closed: false,
             }),
             combiner: Mutex::new(()),
@@ -397,23 +505,59 @@ impl Service {
         })
     }
 
-    /// Opens a session for `tenant` with a full token bucket.
+    /// Opens a session for `tenant` with a full token bucket, reusing a
+    /// retired session's slot when one is free (so churning
+    /// connections — e.g. repeated stats scrapes — don't grow the
+    /// scheduler state or the DRR rotation).
     #[must_use]
     pub fn session(self: &Arc<Self>, tenant: &str, class: TenantClass) -> ServiceHandle {
         let mut sh = self.lock_shared();
-        sh.sessions.push(SessionState {
+        sh.next_epoch += 1;
+        let epoch = sh.next_epoch;
+        let state = SessionState {
             tenant: tenant.to_string(),
             class,
+            open: true,
+            epoch,
             queue: VecDeque::new(),
             deficit: 0,
             tokens: self.cfg.bucket_capacity,
+            last_refill: Instant::now(),
             hist: Histogram::new(),
             ops: 0,
             busy_rejections: 0,
             read_elements: 0,
             write_elements: 0,
-        });
-        ServiceHandle { svc: Arc::clone(self), session: sh.sessions.len() - 1 }
+        };
+        let session = match sh.free.pop() {
+            Some(idx) => {
+                sh.sessions[idx] = state;
+                idx
+            }
+            None => {
+                sh.sessions.push(state);
+                sh.sessions.len() - 1
+            }
+        };
+        ServiceHandle { svc: Arc::clone(self), session, epoch }
+    }
+
+    /// Retires a session: folds its counters into the per-tenant
+    /// aggregate (stats keep counting monotonically) and recycles its
+    /// slot. Idempotent; stale epochs and sessions with queued ops are
+    /// ignored.
+    fn retire(&self, session: usize, epoch: u64) {
+        let mut sh = self.lock_shared();
+        let Shared { sessions, free, retired, .. } = &mut *sh;
+        let Some(state) = sessions.get_mut(session) else { return };
+        if !state.open || state.epoch != epoch || !state.queue.is_empty() {
+            return;
+        }
+        state.open = false;
+        if state.has_activity() {
+            fold_tenant(retired, state);
+        }
+        free.push(session);
     }
 
     /// Volume capacity in data elements.
@@ -442,19 +586,27 @@ impl Service {
         // Lock order: volume before shared, same as the dispatch path.
         let vol = self.volume.lock().expect("volume poisoned");
         let sh = self.lock_shared();
-        let tenants = sh
-            .sessions
-            .iter()
-            .map(|s| TenantStats {
-                tenant: s.tenant.clone(),
-                class: s.class,
-                ops: s.ops,
-                busy_rejections: s.busy_rejections,
-                read_elements: s.read_elements,
-                write_elements: s.write_elements,
-                p50_us: s.hist.percentile(0.50) / 1_000.0,
-                p99_us: s.hist.percentile(0.99) / 1_000.0,
-                mean_us: s.hist.mean() / 1_000.0,
+        // One entry per (tenant, class) label pair: retired sessions'
+        // folded counters first (stable first-seen order), then every
+        // live session merged in — so two connections HELLOing the same
+        // tenant, or a close/reopen cycle, still yield a single
+        // monotonic series per label set.
+        let mut accums = sh.retired.clone();
+        for s in sh.sessions.iter().filter(|s| s.open && s.has_activity()) {
+            fold_tenant(&mut accums, s);
+        }
+        let tenants = accums
+            .into_iter()
+            .map(|a| TenantStats {
+                tenant: a.tenant,
+                class: a.class,
+                ops: a.ops,
+                busy_rejections: a.busy_rejections,
+                read_elements: a.read_elements,
+                write_elements: a.write_elements,
+                p50_us: a.hist.percentile(0.50) / 1_000.0,
+                p99_us: a.hist.percentile(0.99) / 1_000.0,
+                mean_us: a.hist.mean() / 1_000.0,
             })
             .collect();
         ServiceStats {
@@ -537,11 +689,14 @@ impl Service {
         Ok(len as u64)
     }
 
-    fn submit(&self, session: usize, kind: OpKind) -> Result<OpOutput, ServiceError> {
+    fn submit(&self, session: usize, epoch: u64, kind: OpKind) -> Result<OpOutput, ServiceError> {
         let cost = self.validate(&kind)?;
         let slot = {
             let mut sh = self.lock_shared();
             if sh.closed {
+                return Err(ServiceError::Closed);
+            }
+            if !sh.sessions[session].open || sh.sessions[session].epoch != epoch {
                 return Err(ServiceError::Closed);
             }
             if sh.queued >= self.cfg.queue_depth {
@@ -550,6 +705,21 @@ impl Service {
                 return Err(ServiceError::Busy { queued });
             }
             let state = &mut sh.sessions[session];
+            // Wall-clock refill before the token check: a throttled
+            // client's retry must be able to succeed even if no
+            // dispatch round ran in between (rounds only run while ops
+            // are queued, and a rejection queues nothing).
+            let periods = u64::try_from(
+                state.last_refill.elapsed().as_nanos() / self.cfg.refill_interval.as_nanos(),
+            )
+            .unwrap_or(u64::MAX);
+            if periods > 0 {
+                state.tokens = state
+                    .tokens
+                    .saturating_add(periods.saturating_mul(self.cfg.bucket_refill))
+                    .min(self.cfg.bucket_capacity);
+                state.last_refill = Instant::now();
+            }
             if state.tokens < cost {
                 state.busy_rejections += 1;
                 return Err(ServiceError::Throttled { wanted: cost, available: state.tokens });
@@ -575,12 +745,23 @@ impl Service {
             if let Some(res) = slot.take() {
                 return res;
             }
+            if self.lock_shared().combining {
+                // An active combiner is guaranteed to complete our op
+                // (it clears the flag only after observing zero queued
+                // ops under the shared lock, which cannot happen while
+                // ours is queued) and notifies the slot when it does —
+                // sleep until then instead of polling.
+                slot.wait_for(COMBINER_FALLBACK);
+                continue;
+            }
             if let Ok(_combine) = self.combiner.try_lock() {
                 self.drain();
                 // Our op was queued before we took the lock, so the
                 // drain above necessarily completed it.
             } else {
-                slot.wait_a_little();
+                // Combiner lock held but flag not yet visible (taken or
+                // released this instant) — brief pause, then re-check.
+                slot.wait_for(HANDOFF_RETRY);
             }
         }
     }
@@ -605,22 +786,32 @@ impl Service {
 
     /// One deficit-round-robin pass over the sessions: refill token
     /// buckets, accrue quantum, release whole ops while credit lasts.
+    ///
+    /// Also maintains `Shared::combining`: the flag is raised while this
+    /// combiner still sees queued work and cleared under the same lock
+    /// acquisition that observes an empty queue — so a submitter that
+    /// reads `combining == true` after enqueueing knows *this* combiner
+    /// will drain its op.
     fn collect_round(&self) -> (Vec<PendingOp>, usize) {
         let mut sh = self.lock_shared();
         if sh.queued == 0 {
+            sh.combining = false;
             return (Vec::new(), 0);
         }
+        sh.combining = true;
         sh.rounds += 1;
         let n = sh.sessions.len();
         let start = sh.rr;
         let mut batch = Vec::new();
         for i in 0..n {
             let state = &mut sh.sessions[(start + i) % n];
-            state.tokens = (state.tokens + self.cfg.bucket_refill).min(self.cfg.bucket_capacity);
             if state.queue.is_empty() {
                 state.deficit = 0;
                 continue;
             }
+            // Per-round refill for sessions in the rotation; idle
+            // sessions catch up wall-clock-wise at their next submit.
+            state.tokens = (state.tokens + self.cfg.bucket_refill).min(self.cfg.bucket_capacity);
             state.deficit += self.cfg.drr_quantum;
             let mut released = 0usize;
             while let Some(front) = state.queue.front() {
@@ -676,6 +867,12 @@ impl Service {
 
     /// Submits the staged writes as maximal contiguous runs, grouped by
     /// owning partition, then completes every staged op.
+    ///
+    /// Every run is attempted even after one fails — runs are
+    /// independent writes, and an op may only be acked `Written` if the
+    /// bytes it staged actually reached the volume. A staged op's range
+    /// is contiguous, so it lies entirely within one maximal run: the op
+    /// fails exactly when the run carrying it failed.
     fn flush_stage(
         &self,
         vol: &mut RaidVolume,
@@ -705,12 +902,11 @@ impl Service {
         let addressing = vol.addressing();
         runs.sort_by_key(|(start, _)| (pmap.owner_of(addressing.stripe_of(*start)), *start));
 
-        let mut first_error: Option<(usize, usize, ServiceError)> = None;
+        let mut failed: Vec<(usize, usize, ServiceError)> = Vec::new();
         for (start, buf) in &runs {
             if let Err(e) = vol.write(*start, buf) {
                 let len = buf.len() / self.element_size;
-                first_error = Some((*start, *start + len, ServiceError::from(e)));
-                break;
+                failed.push((*start, *start + len, ServiceError::from(e)));
             }
         }
         {
@@ -723,9 +919,10 @@ impl Service {
                 OpKind::Write { addr, data } => (*addr, data.len() / self.element_size),
                 _ => unreachable!("only writes are staged"),
             };
-            let result = match &first_error {
-                Some((lo, hi, e)) if addr < *hi && addr + elements > *lo => Err(e.clone()),
-                _ => Ok(OpOutput::Written { elements }),
+            let result = match failed.iter().find(|(lo, hi, _)| addr < *hi && addr + elements > *lo)
+            {
+                Some((_, _, e)) => Err(e.clone()),
+                None => Ok(OpOutput::Written { elements }),
             };
             self.complete(&op, result);
         }
@@ -754,11 +951,13 @@ impl Service {
 /// A per-client (per-session) handle onto a shared [`Service`].
 ///
 /// Cheap to clone-by-`session`; each handle owns one admission bucket and
-/// one FIFO in the scheduler.
+/// one FIFO in the scheduler. Call [`ServiceHandle::close`] when the
+/// client is done so the session's scheduler slot is recycled.
 #[derive(Debug, Clone)]
 pub struct ServiceHandle {
     svc: Arc<Service>,
     session: usize,
+    epoch: u64,
 }
 
 impl ServiceHandle {
@@ -770,7 +969,7 @@ impl ServiceHandle {
     /// rejection (retry later), [`ServiceError::Volume`] if the volume
     /// fails the op.
     pub fn read(&self, addr: usize, len: usize) -> Result<Vec<u8>, ServiceError> {
-        match self.svc.submit(self.session, OpKind::Read { addr, len })? {
+        match self.svc.submit(self.session, self.epoch, OpKind::Read { addr, len })? {
             OpOutput::Read(bytes) => Ok(bytes),
             _ => unreachable!("read op returns read output"),
         }
@@ -783,7 +982,8 @@ impl ServiceHandle {
     ///
     /// Same admission/volume errors as [`ServiceHandle::read`].
     pub fn write(&self, addr: usize, data: &[u8]) -> Result<usize, ServiceError> {
-        match self.svc.submit(self.session, OpKind::Write { addr, data: data.to_vec() })? {
+        match self.svc.submit(self.session, self.epoch, OpKind::Write { addr, data: data.to_vec() })?
+        {
             OpOutput::Written { elements } => Ok(elements),
             _ => unreachable!("write op returns write output"),
         }
@@ -795,10 +995,21 @@ impl ServiceHandle {
     ///
     /// Same admission/volume errors as [`ServiceHandle::read`].
     pub fn flush(&self) -> Result<(), ServiceError> {
-        match self.svc.submit(self.session, OpKind::Flush)? {
+        match self.svc.submit(self.session, self.epoch, OpKind::Flush)? {
             OpOutput::Flushed => Ok(()),
             _ => unreachable!("flush op returns flush output"),
         }
+    }
+
+    /// Closes the session: its counters fold into the per-tenant
+    /// aggregate ([`Service::stats`] keeps reporting them) and its
+    /// scheduler slot is recycled for the next [`Service::session`].
+    ///
+    /// Idempotent. Further ops through this handle (or a clone) fail
+    /// with [`ServiceError::Closed`]; don't close while another clone
+    /// has an op in flight.
+    pub fn close(&self) {
+        self.svc.retire(self.session, self.epoch);
     }
 
     /// Snapshots service-wide stats.
@@ -811,5 +1022,143 @@ impl ServiceHandle {
     #[must_use]
     pub fn service(&self) -> &Arc<Service> {
         &self.svc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use hv_code::HvCode;
+    use raid_core::ArrayCode;
+
+    use super::*;
+
+    fn service(cfg: ServiceConfig) -> Arc<Service> {
+        let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(5).unwrap());
+        Service::new(RaidVolume::in_memory(code, 6, 8), cfg)
+    }
+
+    /// Regression for acking unwritten data: when staged runs fail at
+    /// the volume, *every* op whose run failed must get the error —
+    /// including ops in runs after the first failure.
+    #[test]
+    fn coalesced_batch_failure_fails_every_staged_op() {
+        let svc = service(ServiceConfig::default());
+        for i in 0..3 {
+            let _ = svc.session(&format!("t{i}"), TenantClass::Writer);
+        }
+        // Park the volume at the correction limit with the fence armed:
+        // every run's write now fails with SpareExhausted.
+        svc.with_volume(|v| {
+            v.set_auto_heal(false);
+            v.fail_disk(0).unwrap();
+            v.fail_disk(1).unwrap();
+            v.set_write_fence(true);
+            assert!(v.write_fenced());
+        });
+        // Three disjoint (non-adjacent) writes staged into one batch —
+        // three maximal runs — executed directly, no combiner timing.
+        let es = svc.element_size();
+        let mut batch = Vec::new();
+        let mut slots = Vec::new();
+        for (i, addr) in [0usize, 4, 8].into_iter().enumerate() {
+            let slot = OpSlot::new();
+            slots.push(Arc::clone(&slot));
+            batch.push(PendingOp {
+                session: i,
+                kind: OpKind::Write { addr, data: vec![0xA5; 2 * es] },
+                cost: 2,
+                enqueued: Instant::now(),
+                slot,
+            });
+        }
+        svc.execute(batch);
+        for (i, slot) in slots.iter().enumerate() {
+            let res = slot.take().expect("op completed");
+            assert!(
+                matches!(res, Err(ServiceError::Volume(_))),
+                "op {i} was never written but got {res:?}"
+            );
+        }
+    }
+
+    /// Regression for permanent throttling: with no ops queued no
+    /// dispatch round runs, so a rejected op must still see the bucket
+    /// refill (wall-clock, at admission) for its retry to succeed.
+    #[test]
+    fn throttled_session_recovers_without_dispatch_rounds() {
+        let svc = service(ServiceConfig {
+            coalesce: false,
+            bucket_capacity: 8,
+            bucket_refill: 1,
+            refill_interval: Duration::from_millis(5),
+            ..ServiceConfig::default()
+        });
+        let h = svc.session("t", TenantClass::Writer);
+        let es = svc.element_size();
+        h.write(0, &vec![1u8; 8 * es]).expect("first op drains the full bucket");
+        let start = Instant::now();
+        loop {
+            match h.write(0, &vec![2u8; 8 * es]) {
+                Ok(_) => break,
+                Err(ServiceError::Throttled { .. }) => {
+                    assert!(
+                        start.elapsed() < Duration::from_secs(10),
+                        "throttled retry was never admitted: bucket never refills while idle"
+                    );
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_recycle_and_tenant_stats_aggregate() {
+        let svc = service(ServiceConfig::default());
+        let es = svc.element_size();
+
+        let h1 = svc.session("t", TenantClass::Writer);
+        h1.write(0, &vec![1u8; es]).unwrap();
+        h1.close();
+        h1.close(); // idempotent
+        assert!(
+            matches!(h1.write(0, &vec![1u8; es]), Err(ServiceError::Closed)),
+            "closed handle must not submit"
+        );
+        let st = svc.stats();
+        assert_eq!(st.tenants.len(), 1);
+        assert_eq!(st.tenants[0].ops, 1, "counters survive the close");
+
+        // Reopen the same tenant: the retired slot is recycled and the
+        // series stays one monotonic entry.
+        let h2 = svc.session("t", TenantClass::Writer);
+        h2.write(0, &vec![2u8; es]).unwrap();
+        let st = svc.stats();
+        assert_eq!(st.tenants.len(), 1);
+        assert_eq!(st.tenants[0].ops, 2);
+
+        // Two live sessions under one label pair merge into one entry.
+        let ha = svc.session("dup", TenantClass::Mixed);
+        let hb = svc.session("dup", TenantClass::Mixed);
+        ha.write(0, &vec![3u8; es]).unwrap();
+        hb.write(0, &vec![4u8; es]).unwrap();
+        let dup: Vec<_> = svc.stats().tenants.into_iter().filter(|t| t.tenant == "dup").collect();
+        assert_eq!(dup.len(), 1, "same tenant+class must not duplicate series");
+        assert_eq!(dup[0].ops, 2);
+
+        // A churn of zero-op scrape sessions leaves no series behind and
+        // does not grow the scheduler state.
+        for _ in 0..32 {
+            let m = svc.session("metrics", TenantClass::Reader);
+            let _ = m.stats();
+            m.close();
+        }
+        let st = svc.stats();
+        assert!(
+            st.tenants.iter().all(|t| t.tenant != "metrics"),
+            "zero-op sessions must not emit series"
+        );
+        let slots = svc.lock_shared().sessions.len();
+        assert!(slots <= 4, "retired slots must be reused, got {slots} session slots");
     }
 }

@@ -5,12 +5,18 @@
 //! shape the rest of the workspace uses. The acceptor pushes accepted
 //! streams onto an [`mpsc`] channel; each worker serves one connection at
 //! a time to completion (line in, line out — see [`crate::proto`]).
-//! `SHUTDOWN` from any client flags the server, wakes the acceptor with
-//! a self-connection, drains the scheduler, flushes the volume, and
-//! joins every thread before [`serve`] returns — the clean-shutdown
-//! contract the serve-smoke gate asserts with a post-mortem `fsck`.
+//! `SHUTDOWN` from any client flags the server, force-closes every other
+//! live connection (workers blocked reading an idle client observe EOF
+//! instead of pinning the server open), wakes the acceptor with a
+//! self-connection, drains the scheduler, flushes the volume, and joins
+//! every thread before [`serve`] returns — the clean-shutdown contract
+//! the serve-smoke gate asserts with a post-mortem `fsck`. Each
+//! connection's scheduler session is closed when the connection ends, so
+//! churning clients (stats scrapes included) don't accrete scheduler
+//! state.
 
 use std::io::{BufRead, BufReader, Write};
+use std::net::Shutdown;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,6 +58,7 @@ pub fn serve(svc: &Arc<Service>, cfg: &ServerConfig) -> io::Result<()> {
     let _ = std::fs::remove_file(&cfg.socket);
     let listener = UnixListener::bind(&cfg.socket)?;
     let stop = Arc::new(AtomicBool::new(false));
+    let registry = Arc::new(ConnRegistry::new());
     let (tx, rx) = mpsc::channel::<UnixStream>();
     let rx = Arc::new(Mutex::new(rx));
 
@@ -60,12 +67,19 @@ pub fn serve(svc: &Arc<Service>, cfg: &ServerConfig) -> io::Result<()> {
             let rx = Arc::clone(&rx);
             let svc = Arc::clone(svc);
             let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&registry);
             let socket = cfg.socket.clone();
             scope.spawn(move || loop {
                 let next = rx.lock().expect("worker channel poisoned").recv();
                 match next {
                     Ok(stream) => {
-                        if serve_connection(&svc, stream) == Outcome::Shutdown {
+                        // Once stopping, backlogged connections are
+                        // dropped unserved instead of blocking a worker.
+                        let Some(id) = registry.register(&stream) else { continue };
+                        let outcome = serve_connection(&svc, stream);
+                        registry.deregister(id);
+                        if outcome == Outcome::Shutdown {
+                            registry.stop_all();
                             request_stop(&stop, &socket);
                         }
                     }
@@ -101,20 +115,85 @@ fn request_stop(stop: &AtomicBool, socket: &Path) {
     }
 }
 
+/// Live client connections, force-closable on shutdown: a worker blocked
+/// in `lines()` on an idle client observes EOF instead of keeping
+/// [`serve`]'s thread scope from joining.
+struct ConnRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+struct RegistryInner {
+    stopping: bool,
+    next_id: u64,
+    conns: Vec<(u64, UnixStream)>,
+}
+
+impl ConnRegistry {
+    fn new() -> ConnRegistry {
+        ConnRegistry {
+            inner: Mutex::new(RegistryInner { stopping: false, next_id: 0, conns: Vec::new() }),
+        }
+    }
+
+    /// Tracks `stream` and returns its registry id, or `None` once the
+    /// server is stopping (or the stream can't be cloned) — the caller
+    /// drops the connection unserved.
+    fn register(&self, stream: &UnixStream) -> Option<u64> {
+        let mut g = self.inner.lock().expect("conn registry poisoned");
+        if g.stopping {
+            return None;
+        }
+        let clone = stream.try_clone().ok()?;
+        g.next_id += 1;
+        let id = g.next_id;
+        g.conns.push((id, clone));
+        Some(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        let mut g = self.inner.lock().expect("conn registry poisoned");
+        g.conns.retain(|(i, _)| *i != id);
+    }
+
+    /// Marks the server stopping and shuts down every live connection
+    /// so blocked readers return promptly.
+    fn stop_all(&self) {
+        let mut g = self.inner.lock().expect("conn registry poisoned");
+        g.stopping = true;
+        for (_, s) in g.conns.drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
 #[derive(Debug, PartialEq, Eq)]
 enum Outcome {
     Closed,
     Shutdown,
 }
 
-/// Serves one client connection to completion.
+/// Serves one client connection to completion, closing its scheduler
+/// session when the connection ends.
 fn serve_connection(svc: &Arc<Service>, stream: UnixStream) -> Outcome {
+    let mut session: Option<ServiceHandle> = None;
+    let outcome = connection_loop(svc, stream, &mut session);
+    if let Some(h) = session {
+        h.close();
+    }
+    outcome
+}
+
+/// The line-in/line-out loop of one connection.
+fn connection_loop(
+    svc: &Arc<Service>,
+    stream: UnixStream,
+    session: &mut Option<ServiceHandle>,
+) -> Outcome {
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return Outcome::Closed,
     };
     let mut writer = stream;
-    let mut session: Option<ServiceHandle> = None;
     for line in reader.lines() {
         let Ok(line) = line else { return Outcome::Closed };
         if line.trim().is_empty() {
@@ -131,16 +210,20 @@ fn serve_connection(svc: &Arc<Service>, stream: UnixStream) -> Outcome {
                 return Outcome::Shutdown;
             }
             Ok(Request::Hello { tenant, class }) => {
+                // Re-HELLO replaces the session; retire the old one.
+                if let Some(old) = session.take() {
+                    old.close();
+                }
                 let handle = svc.session(&tenant, class);
                 let reply = format!(
                     "OK session {tenant} elements {} element_size {}",
                     svc.data_elements(),
                     svc.element_size()
                 );
-                session = Some(handle);
+                *session = Some(handle);
                 reply
             }
-            Ok(req) => match &session {
+            Ok(req) => match session.as_ref() {
                 None => "ERR bad-request: HELLO first".to_string(),
                 Some(h) => respond(h, &req),
             },
@@ -339,5 +422,49 @@ mod tests {
         assert!(transcript.contains("hvraid_service_ops_total{tenant=\"smoke\",class=\"writer\"}"));
         server.join().unwrap().expect("clean shutdown");
         assert!(!socket.exists(), "socket file removed on shutdown");
+    }
+
+    /// SHUTDOWN must not wait on other still-connected clients: workers
+    /// blocked reading an idle connection are unblocked by force-closing
+    /// it, so `serve` returns promptly.
+    #[test]
+    fn shutdown_returns_despite_idle_connected_client() {
+        let code: Arc<dyn ArrayCode> = Arc::new(HvCode::new(5).unwrap());
+        let volume = RaidVolume::in_memory(code, 4, 8);
+        let svc = Service::new(volume, ServiceConfig::default());
+        let socket = temp_socket("idle-client");
+        let cfg = ServerConfig { socket: socket.clone(), workers: 2 };
+
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let server = {
+            let svc = Arc::clone(&svc);
+            let cfg = cfg.clone();
+            thread::spawn(move || {
+                let r = serve(&svc, &cfg);
+                let _ = done_tx.send(());
+                r
+            })
+        };
+        for _ in 0..200 {
+            if socket.exists() {
+                break;
+            }
+            thread::sleep(std::time::Duration::from_millis(5));
+        }
+
+        // An idle client that HELLOs (so a worker is parked in its read
+        // loop) and then goes silent.
+        let mut idle = UnixStream::connect(&socket).expect("idle client connects");
+        writeln!(idle, "HELLO idler reader").unwrap();
+        let mut first = String::new();
+        BufReader::new(idle.try_clone().unwrap()).read_line(&mut first).unwrap();
+        assert!(first.starts_with("OK session"), "got {first:?}");
+
+        run_script(&socket, "HELLO closer writer\nSHUTDOWN\n").expect("shutdown script");
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("serve() hung on the idle client after SHUTDOWN");
+        server.join().unwrap().expect("clean shutdown");
+        drop(idle);
     }
 }
